@@ -1,0 +1,100 @@
+// Command samrepro regenerates the paper's tables and figures (and the
+// repository's extension experiments) from the simulator.
+//
+// Usage:
+//
+//	samrepro [-exp all|tables|figures|extensions|<id>]
+//	         [-runs N] [-seed S] [-workers W] [-csv] [-o dir]
+//
+// Experiment ids: table1, table2, fig5..fig15, detection, leash, protocols,
+// rushing, loss, mobility, blackhole, adaptive, roc (see -list).
+//
+// Each experiment prints a markdown table by default, or CSV with -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"samnet/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id, or 'all'")
+		runs    = flag.Int("runs", 10, "simulation runs per condition")
+		seed    = flag.Uint64("seed", 2005, "master seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.md (or .csv)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range experiment.Registry {
+			fmt.Printf("%-10s %-10s %s\n", d.ID, d.Kind, d.Title)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Runs: *runs, Seed: *seed, Workers: *workers}
+	var defs []experiment.Definition
+	switch *exp {
+	case "all":
+		defs = experiment.Registry
+	case "tables", "figures", "extensions":
+		kind := strings.TrimSuffix(*exp, "s")
+		for _, d := range experiment.Registry {
+			if d.Kind == kind {
+				defs = append(defs, d)
+			}
+		}
+	default:
+		d, err := experiment.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defs = []experiment.Definition{d}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for i, d := range defs {
+		if i > 0 {
+			fmt.Println()
+		}
+		art := d.Run(cfg)
+		var buf strings.Builder
+		for j, t := range art.Tables {
+			if j > 0 {
+				buf.WriteString("\n")
+			}
+			if *csv {
+				buf.WriteString(t.CSV())
+			} else {
+				buf.WriteString(t.Markdown())
+			}
+		}
+		fmt.Print(buf.String())
+		if *outDir != "" {
+			ext := ".md"
+			if *csv {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, d.ID+ext)
+			if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command samsim runs one simulated route discovery and prints the route
+// set, SAM's statistics, and — when a trained profile is supplied — the
+// detector's verdict.
+//
+// Usage:
+//
+//	samsim [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
+//	       [-wormholes 0|1|2] [-behavior forward|blackhole|greyhole]
+//	       [-protocol mr|smr|dsr] [-seed S] [-profile file.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"samnet/internal/attack"
+	"samnet/internal/cli"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+	"samnet/internal/viz"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
+		tier      = flag.Int("tier", 1, "transmission range in grid spacings (grid topologies)")
+		wormholes = flag.Int("wormholes", 1, "active wormhole pairs (0-2)")
+		behavior  = flag.String("behavior", "forward", "attacker payload behaviour: forward, blackhole, greyhole")
+		protoName = flag.String("protocol", "mr", "routing protocol: mr, smr, dsr, aomdv, mdsr")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		profile   = flag.String("profile", "", "trained profile JSON (from samtrain) to evaluate a verdict")
+		verbose   = flag.Bool("v", false, "print every route")
+		showMap   = flag.Bool("map", false, "render an ASCII map with the first route overlaid")
+	)
+	flag.Parse()
+
+	net, err := cli.BuildTopology(*topoName, *tier, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var beh attack.PayloadBehavior
+	switch *behavior {
+	case "forward":
+		beh = attack.Forward
+	case "blackhole":
+		beh = attack.Blackhole
+	case "greyhole":
+		beh = attack.Greyhole
+	default:
+		fatal(fmt.Errorf("unknown behavior %q", *behavior))
+	}
+
+	var sc *attack.Scenario
+	if *wormholes > 0 {
+		sc = attack.NewScenario(net, *wormholes, beh)
+	}
+
+	proto, err := cli.BuildProtocol(*protoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	src, dst := net.PickPair(rand.New(rand.NewPCG(*seed, 77)))
+	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: *seed})
+	if sc != nil {
+		sc.Arm(simNet)
+	}
+	disc := proto.Discover(simNet, src, dst)
+	st := sam.Analyze(disc.Routes)
+
+	fmt.Printf("topology %s (%d nodes), protocol %s, src=%d dst=%d, seed=%d\n",
+		net.Topo.Name(), net.Topo.N(), proto.Name(), src, dst, *seed)
+	if sc != nil {
+		for i, l := range sc.TunnelLinks() {
+			fmt.Printf("wormhole %d: link %v (spans %d normal hops), behaviour %v\n",
+				i+1, l, net.TunnelSpan(i), beh)
+		}
+	}
+	fmt.Printf("\nroutes: %d   overhead (tx+rx): %d\n", len(disc.Routes), disc.Overhead())
+	if *verbose {
+		for _, r := range disc.Routes {
+			fmt.Println("  ", r)
+		}
+	}
+	fmt.Printf("p_max = %.4f (link %v)\nphi   = %.4f\nsuspect link: %v\n",
+		st.PMax, st.MaxLink, st.Phi, st.Suspect)
+	if *showMap {
+		fmt.Println()
+		if len(disc.Routes) > 0 {
+			fmt.Print(viz.Discovery(net, disc.Routes[0]))
+		} else {
+			fmt.Print(viz.Network(net))
+		}
+	}
+	if sc != nil {
+		aff := 0.0
+		for _, l := range sc.TunnelLinks() {
+			if a := disc.AffectedBy(l); a > aff {
+				aff = a
+			}
+		}
+		fmt.Printf("routes affected by a tunnel: %.0f%%\n", 100*aff)
+	}
+
+	if *profile != "" {
+		blob, err := os.ReadFile(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		var p sam.Profile
+		if err := json.Unmarshal(blob, &p); err != nil {
+			fatal(err)
+		}
+		det := sam.NewDetector(&p, sam.DetectorConfig{})
+		v := det.Evaluate(st)
+		fmt.Printf("\nverdict vs profile %q: %v (lambda=%.3f, z_pmax=%.2f, z_phi=%.2f, tv=%.2f)\n",
+			p.Label, v.Decision, v.Lambda, v.ZPMax, v.ZPhi, v.TV)
+		if v.Decision != sam.Normal {
+			fmt.Printf("accused pair: nodes %d and %d\n", v.Suspects[0], v.Suspects[1])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "samsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command samtrain trains a SAM normal-condition profile for a given
+// topology and routing protocol by running repeated clean route discoveries,
+// and writes the profile as JSON (for samsim -profile or library use).
+//
+// Usage:
+//
+//	samtrain [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
+//	         [-protocol mr|smr|dsr] [-runs N] [-seed S] [-o profile.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"samnet/internal/cli"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+)
+
+func main() {
+	var (
+		topoName  = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
+		tier      = flag.Int("tier", 1, "transmission range in grid spacings")
+		protoName = flag.String("protocol", "mr", "routing protocol: mr, smr, dsr, aomdv, mdsr")
+		runs      = flag.Int("runs", 30, "training route discoveries")
+		seed      = flag.Uint64("seed", 2005, "master seed")
+		out       = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	proto, err := cli.BuildProtocol(*protoName)
+	if err != nil {
+		fatal(err)
+	}
+
+	label := fmt.Sprintf("%s-%dtier/%s", *topoName, *tier, proto.Name())
+	trainer := sam.NewTrainer(label, 0)
+	for run := 0; run < *runs; run++ {
+		net, err := cli.BuildTopology(*topoName, *tier, *seed+uint64(run))
+		if err != nil {
+			fatal(err)
+		}
+		pairRng := rand.New(rand.NewPCG(*seed, uint64(run)))
+		src, dst := net.PickPair(pairRng)
+		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: *seed + uint64(run)*7919})
+		d := proto.Discover(simNet, src, dst)
+		trainer.ObserveRoutes(d.Routes)
+	}
+	profile, err := trainer.Profile()
+	if err != nil {
+		fatal(err)
+	}
+
+	blob, err := json.MarshalIndent(profile, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "samtrain: trained %q on %d runs (pmax %s | phi %s)\n",
+		label, trainer.Runs(), profile.PMax, profile.Phi)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "samtrain:", err)
+	os.Exit(1)
+}

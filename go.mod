@@ -1,0 +1,3 @@
+module samnet
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package experiment reproduces the paper's evaluation: every table and
+// figure has a runner that regenerates it from the simulator, plus extension
+// experiments (packet-leash comparison, end-to-end detection rates) and the
+// registry the samrepro command and the benchmark suite drive.
+//
+// Determinism and parallelism: each run's simulation seed is derived from
+// (master seed, condition label, run index), and the source/destination pair
+// of run i is derived from (master seed, run index) only — so the same pairs
+// are compared across normal/attacked conditions and across protocols, as a
+// paired experiment should. Runs fan out over a bounded worker pool and are
+// merged back in run order, so output is byte-stable regardless of
+// GOMAXPROCS.
+package experiment
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"samnet/internal/attack"
+	"samnet/internal/routing"
+	"samnet/internal/routing/dsr"
+	"samnet/internal/routing/mr"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// Config controls an experiment invocation.
+type Config struct {
+	// Runs is the number of simulation runs per condition (default 10, as
+	// in the paper).
+	Runs int
+	// Seed is the master seed all per-run seeds derive from (default 2005,
+	// the paper's year).
+	Seed uint64
+	// Workers bounds run-level parallelism (default NumCPU).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 2005
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// deriveSeed hashes (master seed, label, run) into a simulation seed.
+func deriveSeed(master uint64, label string, run int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(master >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(run) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// pairRNG returns the RNG that draws run i's source/destination pair. It
+// depends only on (master seed, run), never on the condition, so conditions
+// are compared on identical workloads.
+func pairRNG(master uint64, run int) *rand.Rand {
+	return rand.New(rand.NewPCG(deriveSeed(master, "pair", run), 0x9e3779b97f4a7c15))
+}
+
+// topoRNG returns the RNG used when a condition rebuilds a random topology
+// per run.
+func topoRNG(master uint64, run int) *rand.Rand {
+	return rand.New(rand.NewPCG(deriveSeed(master, "topo", run), 0x517cc1b727220a95))
+}
+
+// Condition describes one simulated setting: a topology, a number of active
+// wormholes, and a routing protocol.
+type Condition struct {
+	// Label names the condition ("cluster-1tier/MR/attack"); it feeds seed
+	// derivation, so renaming a condition reshuffles its seeds.
+	Label string
+	// Build constructs the network for one run. Most conditions ignore run
+	// and rebuild the same deterministic grid; random-topology conditions
+	// draw a fresh placement from topoRNG.
+	Build func(cfg Config, run int) *topology.Network
+	// Wormholes is how many attacker pairs tunnel during the run.
+	Wormholes int
+	// Protocol constructs the routing protocol (fresh per run; protocols
+	// are stateless but cheap to build).
+	Protocol func() routing.Protocol
+	// Behavior is the attackers' payload behaviour (default Forward).
+	Behavior attack.PayloadBehavior
+}
+
+// RunResult is the outcome of one simulated route discovery.
+type RunResult struct {
+	Run      int
+	Src, Dst topology.NodeID
+	Routes   []routing.Route
+	Stats    sam.Stats
+	// Affected is the fraction of routes containing any active tunnel
+	// link (0 under normal conditions).
+	Affected float64
+	// Overhead is Tx+Rx across all nodes for the discovery.
+	Overhead int64
+	// TunnelLinks are the active attack links (empty when Wormholes == 0).
+	TunnelLinks []topology.Link
+}
+
+// runOne executes one run of a condition.
+func runOne(cfg Config, cond Condition, run int) RunResult {
+	net := cond.Build(cfg, run)
+	var sc *attack.Scenario
+	if cond.Wormholes > 0 {
+		sc = attack.NewScenario(net, cond.Wormholes, cond.Behavior)
+	}
+	src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
+	if sc != nil {
+		sc.Arm(simNet)
+	}
+	disc := cond.Protocol().Discover(simNet, src, dst)
+
+	res := RunResult{
+		Run:      run,
+		Src:      src,
+		Dst:      dst,
+		Routes:   disc.Routes,
+		Stats:    sam.Analyze(disc.Routes),
+		Overhead: disc.Overhead(),
+	}
+	if sc != nil {
+		res.TunnelLinks = sc.TunnelLinks()
+		affected := 0
+		for _, r := range disc.Routes {
+			for _, l := range res.TunnelLinks {
+				if r.ContainsLink(l) {
+					affected++
+					break
+				}
+			}
+		}
+		if len(disc.Routes) > 0 {
+			res.Affected = float64(affected) / float64(len(disc.Routes))
+		}
+		sc.Teardown()
+	}
+	return res
+}
+
+// RunCondition executes cfg.Runs runs of cond over a bounded worker pool and
+// returns the results in run order.
+func RunCondition(cfg Config, cond Condition) []RunResult {
+	cfg = cfg.withDefaults()
+	out := make([]RunResult, cfg.Runs)
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Runs; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = runOne(cfg, cond, i)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Standard network builders, shared across experiment definitions.
+
+func buildCluster(k int) func(Config, int) *topology.Network {
+	return func(Config, int) *topology.Network { return topology.Cluster(k, 2) }
+}
+
+func buildUniform(cols, rows, k int) func(Config, int) *topology.Network {
+	return func(Config, int) *topology.Network { return topology.Uniform(cols, rows, k, 2) }
+}
+
+func buildRandom() func(Config, int) *topology.Network {
+	return func(cfg Config, run int) *topology.Network {
+		return topology.Random(topology.RandomConfig{Wormholes: 2}, topoRNG(cfg.Seed, run))
+	}
+}
+
+func mrProtocol() routing.Protocol  { return &mr.Protocol{SuppressReplies: false} }
+func dsrProtocol() routing.Protocol { return &dsr.Protocol{} }
+
+// Cond is a small helper assembling a Condition.
+func clusterCond(k, wormholes int, proto func() routing.Protocol, protoName string) Condition {
+	suffix := "normal"
+	if wormholes > 0 {
+		suffix = "attack"
+	}
+	return Condition{
+		Label:     "cluster-" + strconv.Itoa(k) + "tier/" + protoName + "/" + suffix,
+		Build:     buildCluster(k),
+		Wormholes: wormholes,
+		Protocol:  proto,
+	}
+}
+
+func uniformCond(cols, rows, k, wormholes int, proto func() routing.Protocol, protoName string) Condition {
+	suffix := "normal"
+	if wormholes > 0 {
+		suffix = "attack"
+	}
+	return Condition{
+		Label:     "uniform" + strconv.Itoa(cols) + "x" + strconv.Itoa(rows) + "-" + strconv.Itoa(k) + "tier/" + protoName + "/" + suffix,
+		Build:     buildUniform(cols, rows, k),
+		Wormholes: wormholes,
+		Protocol:  proto,
+	}
+}
+
+func randomCond(wormholes int, proto func() routing.Protocol, protoName string) Condition {
+	suffix := "normal"
+	if wormholes > 0 {
+		suffix = "attack"
+	}
+	return Condition{
+		Label:     "random/" + protoName + "/" + suffix,
+		Build:     buildRandom(),
+		Wormholes: wormholes,
+		Protocol:  proto,
+	}
+}

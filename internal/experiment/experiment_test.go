@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps test runs quick; 4 runs still exercise the full machinery.
+var fastCfg = Config{Runs: 4, Seed: 99, Workers: 2}
+
+func TestDeriveSeedDistinguishesInputs(t *testing.T) {
+	a := deriveSeed(1, "x", 0)
+	if deriveSeed(1, "x", 0) != a {
+		t.Error("seed not deterministic")
+	}
+	for _, other := range []uint64{
+		deriveSeed(2, "x", 0),
+		deriveSeed(1, "y", 0),
+		deriveSeed(1, "x", 1),
+	} {
+		if other == a {
+			t.Error("distinct inputs collided")
+		}
+	}
+}
+
+func TestPairRNGIsConditionIndependent(t *testing.T) {
+	a := pairRNG(7, 3)
+	b := pairRNG(7, 3)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("pair stream not reproducible")
+		}
+	}
+}
+
+func TestRunConditionDeterministicAcrossWorkerCounts(t *testing.T) {
+	cond := clusterCond(1, 1, mrProtocol, "MR")
+	one := RunCondition(Config{Runs: 5, Seed: 3, Workers: 1}, cond)
+	many := RunCondition(Config{Runs: 5, Seed: 3, Workers: 8}, cond)
+	for i := range one {
+		if one[i].Stats.PMax != many[i].Stats.PMax || one[i].Overhead != many[i].Overhead {
+			t.Fatalf("run %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunConditionPairsSharedAcrossConditions(t *testing.T) {
+	mr := RunCondition(fastCfg, clusterCond(1, 0, mrProtocol, "MR"))
+	dsr := RunCondition(fastCfg, clusterCond(1, 1, dsrProtocol, "DSR"))
+	for i := range mr {
+		if mr[i].Src != dsr[i].Src || mr[i].Dst != dsr[i].Dst {
+			t.Fatalf("run %d: pairs differ across conditions (%d->%d vs %d->%d)",
+				i, mr[i].Src, mr[i].Dst, dsr[i].Src, dsr[i].Dst)
+		}
+	}
+}
+
+func TestAttackConditionPopulatesTunnels(t *testing.T) {
+	res := RunCondition(fastCfg, clusterCond(1, 1, mrProtocol, "MR"))
+	for _, r := range res {
+		if len(r.TunnelLinks) != 1 {
+			t.Fatalf("tunnel links = %v", r.TunnelLinks)
+		}
+		if r.Affected != 1 {
+			t.Errorf("cluster affected = %v, want 1", r.Affected)
+		}
+	}
+}
+
+func TestNormalConditionHasNoTunnels(t *testing.T) {
+	res := RunCondition(fastCfg, clusterCond(1, 0, mrProtocol, "MR"))
+	for _, r := range res {
+		if len(r.TunnelLinks) != 0 || r.Affected != 0 {
+			t.Fatalf("normal run has attack residue: %+v", r)
+		}
+	}
+}
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Registry {
+		if seen[d.ID] {
+			t.Errorf("duplicate id %q", d.ID)
+		}
+		seen[d.ID] = true
+		got, err := ByID(d.ID)
+		if err != nil || got.ID != d.ID {
+			t.Errorf("ByID(%q) failed: %v", d.ID, err)
+		}
+		if d.Kind != "table" && d.Kind != "figure" && d.Kind != "extension" {
+			t.Errorf("%s has unknown kind %q", d.ID, d.Kind)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestEveryExperimentProducesRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is not short")
+	}
+	for _, d := range Registry {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			art := d.Run(fastCfg)
+			if art.ID != d.ID {
+				t.Errorf("artifact id %q != %q", art.ID, d.ID)
+			}
+			if len(art.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range art.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+				if tab.Markdown() == "" || tab.CSV() == "" {
+					t.Error("render failed")
+				}
+			}
+		})
+	}
+}
+
+func TestTable1ClusterIsFullyAffected(t *testing.T) {
+	art := Table1(fastCfg)
+	rows := art.Tables[0].Rows
+	for _, row := range rows[:len(rows)-1] { // last row is the average
+		if row[1] != "100.0%" || row[2] != "100.0%" {
+			t.Errorf("cluster run %s not fully affected: %v", row[0], row)
+		}
+	}
+}
+
+func TestTable2RatioAboveTwo(t *testing.T) {
+	art := Table2(fastCfg)
+	ratio := art.Tables[1]
+	for _, row := range ratio.Rows {
+		if !strings.HasPrefix(row[3], "2") && !strings.HasPrefix(row[3], "3") {
+			t.Errorf("%s MR/DSR ratio %s outside the 'more than twice' regime", row[0], row[3])
+		}
+	}
+}
+
+func TestFig6AttackAboveNormalInCluster(t *testing.T) {
+	art := Fig6(fastCfg)
+	rows := art.Tables[0].Rows
+	mean := rows[len(rows)-1]
+	if mean[0] != "mean" {
+		t.Fatal("last row should be the mean")
+	}
+	if mean[2] <= mean[1] { // string compare works: same width fixed-point
+		t.Errorf("cluster attack mean %s not above normal %s", mean[2], mean[1])
+	}
+}
+
+// BenchmarkRunConditionWorkers measures the worker-pool scaling of the
+// experiment executor; run with -cpu 1,2,4 to see the sweep parallelize.
+func BenchmarkRunConditionWorkers(b *testing.B) {
+	cond := clusterCond(1, 1, mrProtocol, "MR")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunCondition(Config{Runs: 16, Seed: uint64(i + 1)}, cond)
+	}
+}

@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"strconv"
+
+	"samnet/internal/attack"
+	"samnet/internal/geom"
+	"samnet/internal/mobility"
+	"samnet/internal/routing"
+	"samnet/internal/routing/aomdv"
+	"samnet/internal/routing/mdsr"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+	"samnet/internal/trace"
+)
+
+// Protocols evaluates SAM's statistics over the route sets of the paper's
+// future-work protocols (AOMDV, MDSR) next to MR and DSR — the evaluation
+// the conclusion says is "underway".
+func Protocols(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	protos := []struct {
+		name string
+		mk   func() routing.Protocol
+	}{
+		{"MR", mrProtocol},
+		{"DSR", dsrProtocol},
+		{"AOMDV", func() routing.Protocol { return &aomdv.Protocol{} }},
+		{"AODV", func() routing.Protocol { return &aomdv.Protocol{SinglePath: true} }},
+		{"MDSR", func() routing.Protocol { return &mdsr.Protocol{} }},
+	}
+
+	t := &trace.Table{
+		Title: "Extension — SAM statistics across multi-path protocols (1-tier cluster)",
+		Headers: []string{
+			"Protocol", "Routes (normal)", "Routes (attack)",
+			"p_max normal", "p_max attack", "Localized",
+		},
+		Notes: []string{
+			"The paper's conclusion: SMR/AOMDV provide more candidate routes during route " +
+				"discovery than their single-path counterparts DSR and AODV, but MDSR does not.",
+		},
+	}
+	for _, p := range protos {
+		normal := RunCondition(cfg, Condition{
+			Label: "protocols/" + p.name + "/normal", Build: buildCluster(1), Protocol: p.mk,
+		})
+		attacked := RunCondition(cfg, Condition{
+			Label: "protocols/" + p.name + "/attack", Build: buildCluster(1),
+			Wormholes: 1, Protocol: p.mk,
+		})
+		var rn, ra, pn, pa, loc float64
+		for i := 0; i < cfg.Runs; i++ {
+			rn += float64(len(normal[i].Routes))
+			ra += float64(len(attacked[i].Routes))
+			pn += normal[i].Stats.PMax
+			pa += attacked[i].Stats.PMax
+			for _, l := range attacked[i].TunnelLinks {
+				if attacked[i].Stats.Suspect == l {
+					loc++
+				}
+			}
+		}
+		n := float64(cfg.Runs)
+		t.AddRow(p.name, trace.F2(rn/n), trace.F2(ra/n), trace.F(pn/n), trace.F(pa/n), trace.Pct(loc/n))
+	}
+	return &trace.Artifact{ID: "protocols", Kind: "extension", Tables: []*trace.Table{t}}
+}
+
+// Rushing evaluates SAM against a rushing-only adversary (no tunnel): the
+// attackers forward with a fraction of the normal MAC delay, biasing
+// duplicate suppression toward themselves. The paper claims SAM extends to
+// "any routing attacks as long as certain statistics of the obtained routes
+// change significantly" — this measures how much rushing actually moves
+// them.
+func Rushing(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	t := &trace.Table{
+		Title:   "Extension — route statistics under a rushing attack (1-tier cluster, MR)",
+		Headers: []string{"Run", "p_max normal", "p_max rushing", "Rushers on max-link"},
+		Notes: []string{
+			"Rushing bends routes toward the attackers but creates no impossible link, so " +
+				"the statistical signature is far weaker than a wormhole's — SAM's stated limit.",
+		},
+	}
+	normal := RunCondition(cfg, clusterCond(1, 0, mrProtocol, "MR"))
+	for run := 0; run < cfg.Runs; run++ {
+		net := topology.Cluster(1, 2)
+		sc := attack.NewRushingScenario(net, 1, 0.3, attack.Forward)
+		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "rushing", run)})
+		sc.Arm(simNet)
+		disc := mrProtocol().Discover(simNet, src, dst)
+		st := sam.Analyze(disc.Routes)
+		mal := sc.MaliciousNodes()
+		onMax := mal[st.MaxLink.A] || mal[st.MaxLink.B]
+		t.AddRow(strconv.Itoa(run+1), trace.F(normal[run].Stats.PMax), trace.F(st.PMax), boolMark(onMax))
+	}
+	return &trace.Artifact{ID: "rushing", Kind: "extension", Tables: []*trace.Table{t}}
+}
+
+// Loss measures SAM's robustness to channel loss: detection statistics on
+// the attacked cluster as the per-reception loss rate grows.
+func Loss(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	t := &trace.Table{
+		Title:   "Extension — wormhole statistics under channel loss (1-tier cluster, MR)",
+		Headers: []string{"Loss rate", "Mean routes", "Mean p_max attack", "Mean p_max normal", "Localized"},
+		Notes: []string{
+			"Route sets shrink as receptions die, but the tunnel stays dominant: the wormhole " +
+				"signature survives moderate loss.",
+		},
+	}
+	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
+		var routes, pa, pn, loc float64
+		for run := 0; run < cfg.Runs; run++ {
+			// Attacked run.
+			net := topology.Cluster(1, 2)
+			sc := attack.NewScenario(net, 1, attack.Forward)
+			src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+			simNet := sim.NewNetwork(net.Topo, sim.Config{
+				Seed: deriveSeed(cfg.Seed, "loss/attack", run), LossRate: loss,
+			})
+			disc := mrProtocol().Discover(simNet, src, dst)
+			st := sam.Analyze(disc.Routes)
+			routes += float64(len(disc.Routes))
+			pa += st.PMax
+			if len(disc.Routes) > 0 && st.Suspect == sc.TunnelLinks()[0] {
+				loc++
+			}
+			sc.Teardown()
+
+			// Paired normal run at the same loss rate.
+			netN := topology.Cluster(1, 2)
+			simN := sim.NewNetwork(netN.Topo, sim.Config{
+				Seed: deriveSeed(cfg.Seed, "loss/normal", run), LossRate: loss,
+			})
+			discN := mrProtocol().Discover(simN, src, dst)
+			pn += sam.Analyze(discN.Routes).PMax
+		}
+		n := float64(cfg.Runs)
+		t.AddRow(trace.Pct(loss), trace.F2(routes/n), trace.F(pa/n), trace.F(pn/n), trace.Pct(loc/n))
+	}
+	return &trace.Artifact{ID: "loss", Kind: "extension", Tables: []*trace.Table{t}}
+}
+
+// Mobility evaluates SAM when legitimate nodes roam (random waypoint)
+// between route discoveries while the attackers stay pinned — the paper's
+// deferred mobility question.
+func Mobility(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	t := &trace.Table{
+		Title:   "Extension — SAM under random-waypoint mobility (random topology, MR)",
+		Headers: []string{"Drift time", "Connected runs", "Mean p_max attack", "Mean p_max normal", "Localized"},
+		Notes: []string{
+			"Nodes drift between discoveries; attackers stay at fixed positions (the paper's " +
+				"assumption). Disconnected draws produce empty route sets and are skipped in the means.",
+		},
+	}
+	for _, drift := range []float64{0, 2, 5, 10} {
+		var pa, pn, loc float64
+		connected := 0
+		for run := 0; run < cfg.Runs; run++ {
+			net := topology.Random(topology.RandomConfig{Wormholes: 1}, topoRNG(cfg.Seed, run))
+			model := mobility.New(net.Topo, mobility.Config{
+				Arena: geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15)),
+			}, topoRNG(cfg.Seed+1, run))
+			pair := net.AttackerPairs[0]
+			model.Pin(pair[0], pair[1])
+			model.Advance(drift)
+
+			src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+			sc := attack.NewScenario(net, 1, attack.Forward)
+			simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/attack", run)})
+			disc := mrProtocol().Discover(simNet, src, dst)
+			sc.Teardown()
+
+			simN := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/normal", run)})
+			discN := mrProtocol().Discover(simN, src, dst)
+
+			if len(disc.Routes) == 0 || len(discN.Routes) == 0 {
+				continue // drifted apart: no routes either way
+			}
+			connected++
+			st := sam.Analyze(disc.Routes)
+			pa += st.PMax
+			pn += sam.Analyze(discN.Routes).PMax
+			if st.Suspect == topology.MkLink(pair[0], pair[1]) {
+				loc++
+			}
+		}
+		if connected == 0 {
+			t.AddRow(trace.F2(drift), "0", "-", "-", "-")
+			continue
+		}
+		n := float64(connected)
+		t.AddRow(trace.F2(drift), strconv.Itoa(connected), trace.F(pa/n), trace.F(pn/n), trace.Pct(loc/n))
+	}
+	return &trace.Artifact{ID: "mobility", Kind: "extension", Tables: []*trace.Table{t}}
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"strconv"
+
+	"samnet/internal/trace"
+)
+
+// Table1 reproduces Table I: the percentage of obtained routes affected by
+// the wormhole, per run, for MR and DSR on the cluster and uniform
+// topologies (one active wormhole, 1-tier).
+func Table1(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	cols := []struct {
+		name string
+		cond Condition
+	}{
+		{"Cluster MR", clusterCond(1, 1, mrProtocol, "MR")},
+		{"Cluster DSR", clusterCond(1, 1, dsrProtocol, "DSR")},
+		{"Uniform MR", uniformCond(6, 6, 1, 1, mrProtocol, "MR")},
+		{"Uniform DSR", uniformCond(6, 6, 1, 1, dsrProtocol, "DSR")},
+	}
+	results := make([][]RunResult, len(cols))
+	for i, c := range cols {
+		results[i] = RunCondition(cfg, c.cond)
+	}
+
+	t := &trace.Table{
+		Title:   "Table I — Percentage of routes affected by wormhole attack",
+		Headers: []string{"Run", "Cluster MR", "Cluster DSR", "Uniform MR", "Uniform DSR"},
+		Notes: []string{
+			"Paper shape: all cluster-topology routes affected (100%) for both protocols; " +
+				"uniform topology lower, with MR no worse than DSR.",
+		},
+	}
+	avg := make([]float64, len(cols))
+	for run := 0; run < cfg.Runs; run++ {
+		row := []string{strconv.Itoa(run + 1)}
+		for i := range cols {
+			a := results[i][run].Affected
+			avg[i] += a
+			row = append(row, trace.Pct(a))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"avg"}
+	for i := range cols {
+		row = append(row, trace.Pct(avg[i]/float64(cfg.Runs)))
+	}
+	t.AddRow(row...)
+	return &trace.Artifact{ID: "table1", Kind: "table", Tables: []*trace.Table{t}}
+}
+
+// Table2 reproduces Table II: route-discovery overhead (total transmissions
+// plus receptions at all nodes) per run for MR and DSR, same setups as
+// Table I.
+func Table2(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	cols := []struct {
+		name string
+		cond Condition
+	}{
+		{"Cluster MR", clusterCond(1, 1, mrProtocol, "MR")},
+		{"Cluster DSR", clusterCond(1, 1, dsrProtocol, "DSR")},
+		{"Uniform MR", uniformCond(6, 6, 1, 1, mrProtocol, "MR")},
+		{"Uniform DSR", uniformCond(6, 6, 1, 1, dsrProtocol, "DSR")},
+	}
+	results := make([][]RunResult, len(cols))
+	for i, c := range cols {
+		results[i] = RunCondition(cfg, c.cond)
+	}
+
+	t := &trace.Table{
+		Title:   "Table II — Overhead of route discovery (tx+rx at all nodes)",
+		Headers: []string{"Run", "Cluster MR", "Cluster DSR", "Uniform MR", "Uniform DSR"},
+		Notes: []string{
+			"Paper shape: MR overhead is more than twice DSR's on average, justified by " +
+				"needing a new discovery only when all paths break.",
+		},
+	}
+	sums := make([]int64, len(cols))
+	for run := 0; run < cfg.Runs; run++ {
+		row := []string{strconv.Itoa(run + 1)}
+		for i := range cols {
+			ov := results[i][run].Overhead
+			sums[i] += ov
+			row = append(row, trace.D(ov))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"avg"}
+	for i := range cols {
+		row = append(row, trace.D(sums[i]/int64(cfg.Runs)))
+	}
+	t.AddRow(row...)
+
+	ratio := &trace.Table{
+		Title:   "Table II (companion) — MR/DSR overhead ratio",
+		Headers: []string{"Topology", "MR avg", "DSR avg", "Ratio"},
+	}
+	clusterRatio := float64(sums[0]) / float64(sums[1])
+	uniformRatio := float64(sums[2]) / float64(sums[3])
+	ratio.AddRow("Cluster", trace.D(sums[0]/int64(cfg.Runs)), trace.D(sums[1]/int64(cfg.Runs)), trace.F2(clusterRatio))
+	ratio.AddRow("Uniform", trace.D(sums[2]/int64(cfg.Runs)), trace.D(sums[3]/int64(cfg.Runs)), trace.F2(uniformRatio))
+	return &trace.Artifact{ID: "table2", Kind: "table", Tables: []*trace.Table{t, ratio}}
+}

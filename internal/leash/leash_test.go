@@ -1,0 +1,119 @@
+package leash
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"samnet/internal/attack"
+	"samnet/internal/routing/mr"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+func TestCheckAcceptsNeighbors(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 0)
+	c := New(net.Topo, Config{}, rand.New(rand.NewPCG(1, 1)))
+	for i := 0; i < net.Topo.N(); i++ {
+		id := topology.NodeID(i)
+		for _, nb := range net.Topo.Neighbors(id) {
+			if !c.Check(id, nb) {
+				t.Fatalf("leash rejected legitimate link %d-%d", id, nb)
+			}
+		}
+	}
+	if c.Flagged != 0 {
+		t.Errorf("flagged %d legitimate receptions", c.Flagged)
+	}
+}
+
+func TestCheckRejectsTunnel(t *testing.T) {
+	net := topology.Cluster(1, 1)
+	sc := attack.NewScenario(net, 1, attack.Forward)
+	defer sc.Teardown()
+	c := New(net.Topo, Config{}, rand.New(rand.NewPCG(1, 1)))
+	w := sc.Tunnels[0]
+	if c.Check(w.A, w.B) {
+		t.Error("leash accepted a 10-hop tunnel")
+	}
+	if c.Flagged != 1 || c.Checked != 1 {
+		t.Errorf("counters = %d/%d", c.Flagged, c.Checked)
+	}
+}
+
+func TestBoundGrowsWithErrors(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 0)
+	rng := rand.New(rand.NewPCG(1, 1))
+	tight := New(net.Topo, Config{PosError: 0.01, ClockError: 0.01}, rng)
+	loose := New(net.Topo, Config{PosError: 0.5, ClockError: 0.5}, rng)
+	if tight.Bound() >= loose.Bound() {
+		t.Error("bound should grow with error budgets")
+	}
+}
+
+func TestMonitorFlagsWormholeDuringDiscovery(t *testing.T) {
+	net := topology.Cluster(1, 1)
+	sc := attack.NewScenario(net, 1, attack.Forward)
+	defer sc.Teardown()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 3})
+	c := New(net.Topo, Config{}, s.Rand())
+	tally := c.Monitor(s, nil)
+	(&mr.Protocol{}).Discover(s, net.SrcPool[0], net.DstPool[0])
+	v := Summarize(tally)
+	if !v.Detected {
+		t.Fatal("leash missed the wormhole")
+	}
+	if v.WorstLink != sc.TunnelLinks()[0] {
+		t.Errorf("worst link = %v, want the tunnel %v", v.WorstLink, sc.TunnelLinks()[0])
+	}
+}
+
+func TestMonitorCleanRunFlagsNothing(t *testing.T) {
+	net := topology.Cluster(1, 0)
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 3})
+	c := New(net.Topo, Config{}, s.Rand())
+	tally := c.Monitor(s, nil)
+	(&mr.Protocol{}).Discover(s, net.SrcPool[0], net.DstPool[0])
+	if v := Summarize(tally); v.Detected {
+		t.Errorf("false positives on a clean run: %+v", v)
+	}
+}
+
+func TestEnforceNeutralizesWormhole(t *testing.T) {
+	net := topology.Cluster(1, 1)
+	sc := attack.NewScenario(net, 1, attack.Forward)
+	defer sc.Teardown()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 4})
+	c := New(net.Topo, Config{}, s.Rand())
+	c.Enforce(s, nil)
+	d := (&mr.Protocol{}).Discover(s, net.SrcPool[0], net.DstPool[0])
+	if len(d.Routes) == 0 {
+		t.Fatal("enforced leash should still allow normal routes")
+	}
+	if got := d.AffectedBy(sc.TunnelLinks()[0]); got != 0 {
+		t.Errorf("affected = %v with enforced leashes, want 0", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	v := Summarize(nil)
+	if v.Detected || v.Violations != 0 {
+		t.Errorf("empty summary = %+v", v)
+	}
+}
+
+func TestMonitorComposesWithInnerPolicy(t *testing.T) {
+	net := topology.Cluster(1, 1)
+	sc := attack.NewScenario(net, 1, attack.Blackhole)
+	defer sc.Teardown()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 5})
+	policy := attack.NewDropPolicy(sc.MaliciousNodes(), attack.Blackhole)
+	c := New(net.Topo, Config{}, s.Rand())
+	tally := c.Monitor(s, policy.Func(s.Rand()))
+	d := (&mr.Protocol{}).Discover(s, net.SrcPool[0], net.DstPool[0])
+	if len(d.Routes) == 0 {
+		t.Fatal("discovery failed")
+	}
+	if v := Summarize(tally); !v.Detected {
+		t.Error("monitor with inner policy should still flag the tunnel")
+	}
+}

@@ -1,0 +1,96 @@
+package routing
+
+import (
+	"samnet/internal/topology"
+)
+
+// Cache is a DSR-style route cache: routes a node has learned (by
+// discovering, forwarding or overhearing them), indexed so the node can
+// answer "do I know a path from myself to dst?". The paper's Section IV
+// discusses how caching — for all its latency savings — opens the door to
+// blackhole attackers that reply early without any cache lookup; the cdsr
+// package builds that attack on top of this cache.
+type Cache struct {
+	owner    topology.NodeID
+	capacity int
+	routes   []Route // insertion order; index 0 is the oldest
+}
+
+// NewCache builds a cache for the given node. capacity bounds stored routes
+// (oldest evicted first); zero means DefaultCacheCapacity.
+func NewCache(owner topology.NodeID, capacity int) *Cache {
+	if capacity == 0 {
+		capacity = DefaultCacheCapacity
+	}
+	if capacity < 1 {
+		panic("routing: cache capacity must be positive")
+	}
+	return &Cache{owner: owner, capacity: capacity}
+}
+
+// DefaultCacheCapacity is the route limit per node cache.
+const DefaultCacheCapacity = 8
+
+// Owner returns the caching node.
+func (c *Cache) Owner() topology.NodeID { return c.owner }
+
+// Len returns the number of stored routes.
+func (c *Cache) Len() int { return len(c.routes) }
+
+// Add stores a route that passes through (or starts at) the owner. Routes
+// not containing the owner are ignored: the node never saw them. Duplicates
+// refresh recency instead of storing twice.
+func (c *Cache) Add(r Route) {
+	if !r.Contains(c.owner) || len(r) < 2 {
+		return
+	}
+	for i, old := range c.routes {
+		if old.Equal(r) {
+			// Refresh: move to the newest slot.
+			c.routes = append(append(c.routes[:i:i], c.routes[i+1:]...), old)
+			return
+		}
+	}
+	if len(c.routes) == c.capacity {
+		c.routes = c.routes[1:]
+	}
+	c.routes = append(c.routes, r.Clone())
+}
+
+// Lookup returns a cached path from the owner to dst — the suffix of a
+// stored route starting at the owner — and whether one exists. The shortest
+// matching suffix wins; ties prefer fresher entries.
+func (c *Cache) Lookup(dst topology.NodeID) (Route, bool) {
+	var best Route
+	for _, r := range c.routes {
+		suffix := suffixFrom(r, c.owner, dst)
+		if suffix == nil {
+			continue
+		}
+		if best == nil || suffix.Hops() <= best.Hops() {
+			best = suffix
+		}
+	}
+	return best, best != nil
+}
+
+// suffixFrom extracts the sub-route of r from node a to node b (in that
+// traversal order), or nil if a does not precede b in r.
+func suffixFrom(r Route, a, b topology.NodeID) Route {
+	ai := -1
+	for i, n := range r {
+		if n == a {
+			ai = i
+			break
+		}
+	}
+	if ai == -1 {
+		return nil
+	}
+	for j := ai + 1; j < len(r); j++ {
+		if r[j] == b {
+			return r[ai : j+1].Clone()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package routing
+
+import (
+	"testing"
+)
+
+func TestCacheAddAndLookup(t *testing.T) {
+	c := NewCache(5, 4)
+	c.Add(Route{0, 5, 6, 9})
+	got, ok := c.Lookup(9)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	want := Route{5, 6, 9}
+	if !got.Equal(want) {
+		t.Errorf("suffix = %v, want %v", got, want)
+	}
+}
+
+func TestCacheIgnoresForeignRoutes(t *testing.T) {
+	c := NewCache(5, 4)
+	c.Add(Route{0, 1, 2}) // does not contain node 5
+	if c.Len() != 0 {
+		t.Error("cache stored a route it never saw")
+	}
+	c.Add(Route{5}) // too short
+	if c.Len() != 0 {
+		t.Error("cache stored a degenerate route")
+	}
+}
+
+func TestCacheLookupMiss(t *testing.T) {
+	c := NewCache(5, 4)
+	c.Add(Route{0, 5, 6, 9})
+	if _, ok := c.Lookup(1); ok {
+		t.Error("lookup should miss for a destination behind the owner")
+	}
+	if _, ok := c.Lookup(42); ok {
+		t.Error("lookup should miss for an unknown destination")
+	}
+}
+
+func TestCachePrefersShortestSuffix(t *testing.T) {
+	c := NewCache(5, 4)
+	c.Add(Route{0, 5, 1, 2, 9})
+	c.Add(Route{3, 5, 8, 9})
+	got, _ := c.Lookup(9)
+	if got.Hops() != 2 {
+		t.Errorf("lookup = %v, want the 2-hop suffix", got)
+	}
+}
+
+func TestCacheEvictsOldest(t *testing.T) {
+	c := NewCache(0, 2)
+	c.Add(Route{0, 7})
+	c.Add(Route{0, 8})
+	c.Add(Route{0, 9}) // evicts 0->7
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if _, ok := c.Lookup(7); ok {
+		t.Error("oldest entry should be evicted")
+	}
+	if _, ok := c.Lookup(9); !ok {
+		t.Error("newest entry missing")
+	}
+}
+
+func TestCacheDuplicateRefreshesRecency(t *testing.T) {
+	c := NewCache(0, 2)
+	a := Route{0, 7}
+	b := Route{0, 8}
+	c.Add(a)
+	c.Add(b)
+	c.Add(a)           // refresh: a becomes newest
+	c.Add(Route{0, 9}) // evicts b, not a
+	if _, ok := c.Lookup(7); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if _, ok := c.Lookup(8); ok {
+		t.Error("stale entry survived")
+	}
+}
+
+func TestCacheCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity should panic")
+		}
+	}()
+	NewCache(0, -1)
+}
+
+func TestSuffixFrom(t *testing.T) {
+	r := Route{0, 1, 2, 3, 4}
+	if got := suffixFrom(r, 1, 3); !got.Equal(Route{1, 2, 3}) {
+		t.Errorf("suffix = %v", got)
+	}
+	if got := suffixFrom(r, 3, 1); got != nil {
+		t.Errorf("reversed order should be nil, got %v", got)
+	}
+	if got := suffixFrom(r, 9, 3); got != nil {
+		t.Error("absent start should be nil")
+	}
+	// Returned suffix must not alias the original.
+	got := suffixFrom(r, 0, 2)
+	got[0] = 99
+	if r[0] != 0 {
+		t.Error("suffixFrom aliases its input")
+	}
+}

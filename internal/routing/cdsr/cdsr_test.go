@@ -1,0 +1,135 @@
+package cdsr
+
+import (
+	"testing"
+
+	"samnet/internal/routing"
+	"samnet/internal/routing/mr"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+func cleanRoutes(t *testing.T, net *topology.Network, src, dst topology.NodeID) []routing.Route {
+	t.Helper()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 100})
+	return (&mr.Protocol{SuppressReplies: true}).Discover(s, src, dst).Routes
+}
+
+func TestPlainDiscoveryReachesSource(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 0)
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 1})
+	src, dst := net.SrcPool[0], net.DstPool[len(net.DstPool)-1]
+	d := (&Protocol{}).Discover(s, src, dst)
+	if len(d.Routes) == 0 {
+		t.Fatal("no replies reached the source")
+	}
+	for _, r := range d.Routes {
+		if r[0] != src || r[len(r)-1] != dst {
+			t.Errorf("bad endpoints: %v", r)
+		}
+		if !r.Valid(net.Topo) {
+			t.Errorf("honest discovery produced an invalid route: %v", r)
+		}
+	}
+}
+
+func TestCachedReplyShortCircuits(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 0)
+	src, dst := net.SrcPool[0], net.DstPool[len(net.DstPool)-1]
+	caches := WarmCaches(cleanRoutes(t, net, src, dst), 0)
+	if len(caches) == 0 {
+		t.Fatal("warming produced no caches")
+	}
+
+	plain := sim.NewNetwork(net.Topo, sim.Config{Seed: 2})
+	dPlain := (&Protocol{}).Discover(plain, src, dst)
+	cached := sim.NewNetwork(net.Topo, sim.Config{Seed: 2})
+	dCached := (&Protocol{Caches: caches}).Discover(cached, src, dst)
+
+	if dCached.Overhead() >= dPlain.Overhead() {
+		t.Errorf("cached overhead %d should undercut plain %d (replies cut the flood short)",
+			dCached.Overhead(), dPlain.Overhead())
+	}
+	if len(dCached.Routes) == 0 {
+		t.Fatal("cached discovery returned nothing")
+	}
+	for _, r := range dCached.Routes {
+		if !r.Valid(net.Topo) {
+			t.Errorf("cached reply produced an invalid route: %v", r)
+		}
+	}
+}
+
+func TestBlackholeCapturesFirstRoute(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 1)
+	src, dst := net.SrcPool[0], net.DstPool[len(net.DstPool)-1]
+	mal := net.Attackers()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 3})
+	d := (&Protocol{Malicious: mal}).Discover(s, src, dst)
+	if len(d.Routes) == 0 {
+		t.Fatal("no replies")
+	}
+	first := d.Routes[0]
+	if first.Valid(net.Topo) {
+		t.Skipf("first reply %v is honest (attacker too far for this pair)", first)
+	}
+	// The fabricated route ends attacker->dst with a non-existent link.
+	last := first[len(first)-2]
+	if !mal[last] {
+		t.Errorf("invalid route's penultimate node %d is not an attacker: %v", last, first)
+	}
+}
+
+func TestBlackholeProbeFailsOnFabricatedRoute(t *testing.T) {
+	// SAM's step-2 probe catches the fabricated route: the data packet dies
+	// at the attacker (it cannot forward over a link that does not exist),
+	// so no ACK returns — the paper's point that the test step "may help to
+	// detect another type of DoS attack".
+	net := topology.Uniform(6, 6, 1, 1)
+	src, dst := net.SrcPool[0], net.DstPool[len(net.DstPool)-1]
+	mal := net.Attackers()
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 4})
+	d := (&Protocol{Malicious: mal}).Discover(s, src, dst)
+
+	var fake routing.Route
+	for _, r := range d.Routes {
+		if !r.Valid(net.Topo) {
+			fake = r
+			break
+		}
+	}
+	if fake == nil {
+		t.Skip("no fabricated route captured on this seed")
+	}
+	probeNet := sim.NewNetwork(net.Topo, sim.Config{Seed: 5})
+	// Drop data at malicious nodes (they cannot relay over the fake link
+	// anyway; dropping models their blackhole behaviour and keeps the
+	// simulator's adjacency invariant intact).
+	probeNet.SetDropFunc(func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
+		switch pkt.(type) {
+		case *routing.Data, *routing.ACK:
+			return mal[to]
+		}
+		return false
+	})
+	res := routing.ProbeRoutes(probeNet, []routing.Route{fake})
+	if res[0].Acked {
+		t.Error("probe over a fabricated blackhole route must not be acked")
+	}
+}
+
+func TestWarmCachesContainsOnRouteNodesOnly(t *testing.T) {
+	caches := WarmCaches([]routing.Route{{0, 1, 2}}, 0)
+	if len(caches) != 3 {
+		t.Fatalf("caches for %d nodes, want 3", len(caches))
+	}
+	if _, ok := caches[1].Lookup(2); !ok {
+		t.Error("on-route node should know the suffix")
+	}
+}
+
+func TestName(t *testing.T) {
+	if (&Protocol{}).Name() != "DSR+cache" {
+		t.Error("name")
+	}
+}

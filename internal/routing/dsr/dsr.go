@@ -1,0 +1,54 @@
+// Package dsr implements DSR-style single-path route discovery as the paper
+// uses it for comparison: intermediate nodes discard duplicate RREQs (only
+// the first copy of a request is ever forwarded), and the destination
+// replies to every copy that reaches it. Route caching and intermediate-node
+// replies are disabled, as in the paper's setup (intermediate nodes never
+// send RREPs, which also resists blackhole early-reply attacks).
+package dsr
+
+import (
+	"samnet/internal/routing"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// Protocol is DSR route discovery. The zero value is ready to use.
+type Protocol struct {
+	// WaitWindow truncates the destination's collection window after the
+	// first arrival (0 = collect everything).
+	WaitWindow sim.Time
+	// HopSlack matches mr.Protocol.HopSlack: how many hops beyond the
+	// first-arriving route the destination admits. Zero selects the same
+	// default (2); mr.HopSlackStrict and mr.HopSlackNone apply here too.
+	HopSlack int
+	// SuppressReplies skips the RREP phase (analysis-only runs).
+	SuppressReplies bool
+}
+
+// Name implements routing.Protocol.
+func (p *Protocol) Name() string { return "DSR" }
+
+// Discover implements routing.Protocol.
+func (p *Protocol) Discover(net *sim.Network, src, dst topology.NodeID) *routing.Discovery {
+	slack := 2
+	switch {
+	case p.HopSlack > 0:
+		slack = p.HopSlack
+	case p.HopSlack == -1: // mr.HopSlackStrict
+		slack = 0
+	case p.HopSlack == -2: // mr.HopSlackNone
+		slack = -1
+	}
+	return routing.RunDiscovery(net, src, dst, routing.FloodConfig{
+		Name:            p.Name(),
+		Rule:            rule,
+		ReplyAll:        true,
+		WaitWindow:      p.WaitWindow,
+		HopSlack:        slack,
+		SuppressReplies: p.SuppressReplies,
+	})
+}
+
+func rule(self, from topology.NodeID, q *routing.RREQ, st *routing.NodeState) bool {
+	return !st.Seen // forward only the very first copy
+}

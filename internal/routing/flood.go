@@ -1,0 +1,320 @@
+package routing
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// NodeState is the per-node, per-request bookkeeping the paper's forwarding
+// rules consult: the hop count and incoming link of the first copy received,
+// and how many copies the node has forwarded in total and per incoming link.
+type NodeState struct {
+	Seen          bool
+	FirstHops     int
+	FirstFrom     topology.NodeID
+	Forwarded     int
+	ForwardedFrom map[topology.NodeID]int
+}
+
+// ForwardsFrom returns how many copies arriving via neighbor from this node
+// has already forwarded.
+func (st *NodeState) ForwardsFrom(from topology.NodeID) int {
+	return st.ForwardedFrom[from]
+}
+
+// ForwardRule decides whether node self forwards an RREQ copy that arrived
+// from neighbor from. st is this node's state for the request; st.Seen is
+// false exactly on the first arrival (the framework sets Seen/FirstHops/
+// FirstFrom after the call). Rules must not mutate q.
+type ForwardRule func(self, from topology.NodeID, q *RREQ, st *NodeState) bool
+
+// FloodConfig parameterizes the shared flooding framework that DSR and MR
+// are built from.
+type FloodConfig struct {
+	// Name labels the protocol in Discovery records.
+	Name string
+	// Rule is the duplicate-forwarding decision.
+	Rule ForwardRule
+	// MaxForwards caps how many RREQ copies one intermediate node forwards
+	// per request (0 = unlimited). The paper's MR overhead (about twice
+	// DSR's, Table II) implies the first copy plus roughly one duplicate
+	// per node, so mr.Protocol defaults this to 2; the unlimited variant is
+	// kept for the ablation benchmark.
+	MaxForwards int
+	// ReplyAll makes the destination reply to every collected route (DSR
+	// behaviour); otherwise it replies to up to MaxReplies maximally
+	// disjoint routes (SMR behaviour).
+	ReplyAll bool
+	// MaxReplies bounds replies when ReplyAll is false (default 2).
+	MaxReplies int
+	// WaitWindow truncates the collected route set to copies arriving
+	// within WaitWindow of the first arrival. Zero means no truncation:
+	// the destination collects until the flood dies out.
+	WaitWindow sim.Time
+	// HopSlack applies the paper's hop-count rule at the destination too:
+	// collected routes may exceed the first-arriving route's hop count by
+	// at most HopSlack (negative disables the filter). The paper's
+	// destination "waits a certain amount of time ... to collect all the
+	// obtained routes"; bounding by hop count rather than wall-clock keeps
+	// the collection deterministic. Zero (the default) keeps only routes as
+	// short as the first one.
+	HopSlack int
+	// SuppressReplies skips the RREP phase entirely (used by analyses that
+	// only need the route set).
+	SuppressReplies bool
+}
+
+type arrival struct {
+	route Route
+	at    sim.Time
+}
+
+// floodRun is the Handler shared by every node during one discovery.
+type floodRun struct {
+	cfg   FloodConfig
+	reqID uint64
+	src   topology.NodeID
+	dst   topology.NodeID
+
+	state    map[topology.NodeID]*NodeState
+	arrivals []arrival
+	replies  []Route // RREPs that made it back to the source
+}
+
+// reqCounter issues request ids. Atomic: experiment sweeps run discoveries
+// on parallel workers, each with its own network but sharing this counter.
+var reqCounter atomic.Uint64
+
+// RunDiscovery floods one route request from src to dst over net using the
+// given rule set, runs the simulation until the flood (and reply phase)
+// completes, and returns the Discovery. It installs handlers on every node;
+// callers wanting a pristine network should pass a fresh one.
+func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *Discovery {
+	if cfg.MaxReplies == 0 {
+		cfg.MaxReplies = 2
+	}
+	if src == dst {
+		panic("routing: src == dst")
+	}
+	run := &floodRun{
+		cfg:   cfg,
+		reqID: reqCounter.Add(1),
+		src:   src,
+		dst:   dst,
+		state: make(map[topology.NodeID]*NodeState),
+	}
+	net.SetAllHandlers(run)
+
+	net.Schedule(0, func() {
+		net.Broadcast(src, &RREQ{ReqID: run.reqID, Src: src, Dst: dst, Path: Route{src}})
+	})
+	net.Run()
+
+	d := &Discovery{Protocol: cfg.Name, Src: src, Dst: dst}
+	routes := run.collectRoutes()
+	d.Routes = routes
+	if len(run.arrivals) > 0 {
+		d.FirstArrival = run.arrivals[0].at
+		d.LastArrival = run.arrivals[len(run.arrivals)-1].at
+	}
+
+	if !cfg.SuppressReplies && len(routes) > 0 {
+		var toReply []Route
+		if cfg.ReplyAll {
+			toReply = routes
+		} else {
+			toReply = SelectDisjoint(routes, cfg.MaxReplies)
+		}
+		for _, r := range toReply {
+			r := r
+			net.Schedule(0, func() {
+				sendRREP(net, run.reqID, r)
+			})
+		}
+		net.Run()
+		d.Replies = run.replies
+	}
+
+	d.TxTotal, d.RxTotal = net.TotalTraffic()
+	return d
+}
+
+// collectRoutes dedups arrivals and applies the wait window and hop slack,
+// preserving arrival order.
+func (f *floodRun) collectRoutes() []Route {
+	if len(f.arrivals) == 0 {
+		return nil
+	}
+	cutoff := sim.Forever
+	if f.cfg.WaitWindow > 0 {
+		cutoff = f.arrivals[0].at + f.cfg.WaitWindow
+	}
+	maxHops := int(^uint(0) >> 1)
+	if f.cfg.HopSlack >= 0 {
+		maxHops = f.arrivals[0].route.Hops() + f.cfg.HopSlack
+	}
+	var routes []Route
+	for _, a := range f.arrivals {
+		if a.at <= cutoff && a.route.Hops() <= maxHops {
+			routes = append(routes, a.route)
+		}
+	}
+	return DedupRoutes(routes)
+}
+
+func sendRREP(net *sim.Network, reqID uint64, route Route) {
+	if len(route) < 2 {
+		return
+	}
+	last := len(route) - 1
+	net.Unicast(route[last], route[last-1], &RREP{ReqID: reqID, Route: route.Clone(), Pos: last - 1})
+}
+
+// Recv implements sim.Handler.
+func (f *floodRun) Recv(net *sim.Network, self, from topology.NodeID, pkt sim.Packet) {
+	switch p := pkt.(type) {
+	case *RREQ:
+		f.recvRREQ(net, self, from, p)
+	case *RREP:
+		f.recvRREP(net, self, p)
+	case *Data:
+		RelayData(net, self, p)
+	case *ACK:
+		RelayACK(net, self, p)
+	}
+}
+
+func (f *floodRun) recvRREQ(net *sim.Network, self, from topology.NodeID, q *RREQ) {
+	if q.ReqID != f.reqID || self == f.src {
+		return
+	}
+	if self == f.dst {
+		route := append(q.Path.Clone(), self)
+		f.arrivals = append(f.arrivals, arrival{route: route, at: net.Now()})
+		return
+	}
+	if q.Path.Contains(self) {
+		return // loop: this copy already traversed us
+	}
+	st := f.state[self]
+	if st == nil {
+		st = &NodeState{}
+		f.state[self] = st
+	}
+	forward := f.cfg.Rule(self, from, q, st)
+	if forward && f.cfg.MaxForwards > 0 && st.Forwarded >= f.cfg.MaxForwards {
+		forward = false
+	}
+	if !st.Seen {
+		st.Seen = true
+		st.FirstHops = q.Hops()
+		st.FirstFrom = from
+	}
+	if forward {
+		st.Forwarded++
+		if st.ForwardedFrom == nil {
+			st.ForwardedFrom = make(map[topology.NodeID]int)
+		}
+		st.ForwardedFrom[from]++
+		fwd := &RREQ{
+			ReqID: q.ReqID,
+			Src:   q.Src,
+			Dst:   q.Dst,
+			Path:  append(q.Path.Clone(), self),
+		}
+		net.Broadcast(self, fwd)
+	}
+}
+
+func (f *floodRun) recvRREP(net *sim.Network, self topology.NodeID, p *RREP) {
+	if p.ReqID != f.reqID || p.Route[p.Pos] != self {
+		return
+	}
+	if p.Pos == 0 {
+		// Reached the source: the route is usable.
+		f.replies = append(f.replies, p.Route)
+		return
+	}
+	next := &RREP{ReqID: p.ReqID, Route: p.Route, Pos: p.Pos - 1}
+	net.Unicast(self, p.Route[p.Pos-1], next)
+}
+
+// RelayData forwards a source-routed Data packet one hop, or emits the ACK
+// when it has reached the final hop. Exported so probe-only handlers can
+// reuse it.
+func RelayData(net *sim.Network, self topology.NodeID, p *Data) {
+	if p.Route[p.Pos] != self {
+		return
+	}
+	if p.Pos == len(p.Route)-1 {
+		// Destination: acknowledge end-to-end along the reverse route.
+		if len(p.Route) >= 2 {
+			ack := &ACK{SeqNo: p.SeqNo, Route: p.Route, Pos: len(p.Route) - 2}
+			net.Unicast(self, p.Route[len(p.Route)-2], ack)
+		}
+		return
+	}
+	next := &Data{SeqNo: p.SeqNo, Route: p.Route, Pos: p.Pos + 1}
+	net.Unicast(self, p.Route[p.Pos+1], next)
+}
+
+// RelayACK walks an ACK backwards along its route. When it reaches index 0
+// the source has its acknowledgement; AckSink handlers observe that.
+func RelayACK(net *sim.Network, self topology.NodeID, p *ACK) {
+	if p.Route[p.Pos] != self || p.Pos == 0 {
+		return
+	}
+	next := &ACK{SeqNo: p.SeqNo, Route: p.Route, Pos: p.Pos - 1}
+	net.Unicast(self, p.Route[p.Pos-1], next)
+}
+
+// ProbeResult reports one source-routed probe: whether the data packet's
+// end-to-end ACK returned to the source.
+type ProbeResult struct {
+	Route Route
+	Acked bool
+}
+
+// ProbeRoutes sends one Data packet along each route and reports which ACKs
+// came back. It installs minimal relay handlers on every node (replacing any
+// discovery handlers) and uses the network's drop function, so black/grey
+// hole attackers on a route surface as missing ACKs — SAM's step 2.
+func ProbeRoutes(net *sim.Network, routes []Route) []ProbeResult {
+	acked := make(map[uint64]bool)
+	h := sim.HandlerFunc(func(n *sim.Network, self, from topology.NodeID, pkt sim.Packet) {
+		switch p := pkt.(type) {
+		case *Data:
+			RelayData(n, self, p)
+		case *ACK:
+			if p.Route[p.Pos] == self && p.Pos == 0 && self == p.Route[0] {
+				acked[p.SeqNo] = true
+			} else {
+				RelayACK(n, self, p)
+			}
+		}
+	})
+	net.SetAllHandlers(h)
+	for i, r := range routes {
+		if len(r) < 2 {
+			continue
+		}
+		seq, r := uint64(i+1), r
+		net.Schedule(0, func() {
+			net.Unicast(r[0], r[1], &Data{SeqNo: seq, Route: r.Clone(), Pos: 1})
+		})
+	}
+	net.Run()
+	out := make([]ProbeResult, len(routes))
+	for i, r := range routes {
+		out[i] = ProbeResult{Route: r, Acked: acked[uint64(i+1)]}
+	}
+	return out
+}
+
+// SortRoutesByHops orders routes by increasing hop count, stable.
+func SortRoutesByHops(routes []Route) {
+	sort.SliceStable(routes, func(i, j int) bool { return routes[i].Hops() < routes[j].Hops() })
+}

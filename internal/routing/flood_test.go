@@ -1,0 +1,263 @@
+package routing
+
+import (
+	"testing"
+
+	"samnet/internal/geom"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// gridTopo builds a cols x rows unit grid at 1-tier.
+func gridTopo(cols, rows int) *topology.Topology {
+	t := topology.New("grid", 1.001)
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			t.AddNode(geom.Pt(float64(x), float64(y)))
+		}
+	}
+	return t
+}
+
+func nodeAt(t *topology.Topology, x, y float64) topology.NodeID {
+	for i := 0; i < t.N(); i++ {
+		p := t.Pos(topology.NodeID(i))
+		if p.X == x && p.Y == y {
+			return topology.NodeID(i)
+		}
+	}
+	panic("no node at position")
+}
+
+// forwardAll is the unbounded flooding rule (loop-free by construction).
+func forwardAll(self, from topology.NodeID, q *RREQ, st *NodeState) bool { return true }
+
+// forwardFirst is DSR's rule.
+func forwardFirst(self, from topology.NodeID, q *RREQ, st *NodeState) bool { return !st.Seen }
+
+func TestRunDiscoveryLine(t *testing.T) {
+	topo := gridTopo(5, 1)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	d := RunDiscovery(net, 0, 4, FloodConfig{Name: "t", Rule: forwardFirst})
+	if len(d.Routes) != 1 {
+		t.Fatalf("routes = %v", d.Routes)
+	}
+	want := Route{0, 1, 2, 3, 4}
+	if !d.Routes[0].Equal(want) {
+		t.Errorf("route = %v, want %v", d.Routes[0], want)
+	}
+	if d.FirstArrival <= 0 {
+		t.Error("FirstArrival not recorded")
+	}
+	if d.Overhead() == 0 {
+		t.Error("overhead not counted")
+	}
+}
+
+func TestRunDiscoveryRoutesAreValidAndSimple(t *testing.T) {
+	topo := gridTopo(5, 4)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 3})
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 4, 3)
+	d := RunDiscovery(net, src, dst, FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 4, HopSlack: 1})
+	if len(d.Routes) < 2 {
+		t.Fatalf("expected multiple routes, got %d", len(d.Routes))
+	}
+	for _, r := range d.Routes {
+		if r[0] != src || r[len(r)-1] != dst {
+			t.Errorf("route endpoints wrong: %v", r)
+		}
+		if !r.Simple() {
+			t.Errorf("route has a loop: %v", r)
+		}
+		if !r.Valid(topo) {
+			t.Errorf("route uses non-adjacent hop: %v", r)
+		}
+	}
+	// No duplicates.
+	if got := len(DedupRoutes(d.Routes)); got != len(d.Routes) {
+		t.Errorf("route set contains duplicates: %d vs %d", got, len(d.Routes))
+	}
+}
+
+func TestHopSlackFiltersLongRoutes(t *testing.T) {
+	topo := gridTopo(4, 3)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 3, 2)
+	for _, slack := range []int{0, 2} {
+		net := sim.NewNetwork(topo, sim.Config{Seed: 2})
+		d := RunDiscovery(net, src, dst, FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 6, HopSlack: slack})
+		min := d.Routes[0].Hops()
+		for _, r := range d.Routes {
+			if r.Hops() < min {
+				min = r.Hops()
+			}
+		}
+		for _, r := range d.Routes {
+			if r.Hops() > min+slack {
+				t.Errorf("slack=%d admitted a %d-hop route (min %d)", slack, r.Hops(), min)
+			}
+		}
+	}
+}
+
+func TestMaxForwardsBoundsPerNodeTransmissions(t *testing.T) {
+	topo := gridTopo(6, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 5, 3)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 4})
+	RunDiscovery(net, src, dst, FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 2, SuppressReplies: true})
+	for i := 0; i < topo.N(); i++ {
+		id := topology.NodeID(i)
+		if id == src {
+			continue // the source's single origination is not a forward
+		}
+		if got := net.TxCount(id); got > 2 {
+			t.Errorf("node %d transmitted %d times, budget 2", id, got)
+		}
+	}
+}
+
+func TestRepliesTravelBackToSource(t *testing.T) {
+	topo := gridTopo(5, 1)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	d := RunDiscovery(net, 0, 4, FloodConfig{Name: "t", Rule: forwardFirst, MaxReplies: 1})
+	if len(d.Replies) != 1 {
+		t.Fatalf("replies = %v", d.Replies)
+	}
+	if !d.Replies[0].Equal(d.Routes[0]) {
+		t.Error("reply route differs from discovered route")
+	}
+}
+
+func TestSuppressRepliesSkipsRREP(t *testing.T) {
+	topo := gridTopo(5, 1)
+	netA := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	a := RunDiscovery(netA, 0, 4, FloodConfig{Name: "t", Rule: forwardFirst, SuppressReplies: true})
+	netB := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	b := RunDiscovery(netB, 0, 4, FloodConfig{Name: "t", Rule: forwardFirst})
+	if len(a.Replies) != 0 {
+		t.Error("suppressed run produced replies")
+	}
+	if a.Overhead() >= b.Overhead() {
+		t.Errorf("suppressed overhead %d should be below reply run %d", a.Overhead(), b.Overhead())
+	}
+}
+
+func TestDiscoverySameSrcDstPanics(t *testing.T) {
+	topo := gridTopo(3, 1)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("src==dst should panic")
+		}
+	}()
+	RunDiscovery(net, 1, 1, FloodConfig{Name: "t", Rule: forwardFirst})
+}
+
+func TestDiscoveryUnreachableDst(t *testing.T) {
+	topo := topology.New("gap", 1.001)
+	topo.AddNode(geom.Pt(0, 0))
+	topo.AddNode(geom.Pt(1, 0))
+	topo.AddNode(geom.Pt(10, 0))
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	d := RunDiscovery(net, 0, 2, FloodConfig{Name: "t", Rule: forwardFirst})
+	if len(d.Routes) != 0 {
+		t.Errorf("routes to unreachable dst: %v", d.Routes)
+	}
+	if d.FirstArrival != 0 {
+		t.Error("FirstArrival should stay zero")
+	}
+}
+
+func TestProbeRoutesAck(t *testing.T) {
+	topo := gridTopo(5, 1)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	route := Route{0, 1, 2, 3, 4}
+	res := ProbeRoutes(net, []Route{route})
+	if len(res) != 1 || !res[0].Acked {
+		t.Errorf("probe should be acked: %+v", res)
+	}
+}
+
+func TestProbeRoutesBlackholeDropsAck(t *testing.T) {
+	topo := gridTopo(5, 1)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 1})
+	net.SetDropFunc(func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
+		if to != 2 {
+			return false
+		}
+		switch pkt.(type) {
+		case *Data, *ACK:
+			return true
+		}
+		return false
+	})
+	res := ProbeRoutes(net, []Route{{0, 1, 2, 3, 4}, {0, 1}})
+	if res[0].Acked {
+		t.Error("probe through blackhole must not be acked")
+	}
+	if !res[1].Acked {
+		t.Error("clean route should be acked")
+	}
+}
+
+func TestProbeRoutesMultiple(t *testing.T) {
+	topo := gridTopo(4, 2)
+	net := sim.NewNetwork(topo, sim.Config{Seed: 2})
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 3, 1)
+	p1 := Route{src, nodeAt(topo, 1, 0), nodeAt(topo, 2, 0), nodeAt(topo, 3, 0), dst}
+	p2 := Route{src, nodeAt(topo, 0, 1), nodeAt(topo, 1, 1), nodeAt(topo, 2, 1), dst}
+	res := ProbeRoutes(net, []Route{p1, p2})
+	for i, r := range res {
+		if !r.Acked {
+			t.Errorf("probe %d not acked", i)
+		}
+	}
+}
+
+func TestDiscoveryOverheadGrowsWithBudget(t *testing.T) {
+	topo := gridTopo(6, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 5, 3)
+	var prev int64 = -1
+	for _, budget := range []int{1, 3, 6} {
+		net := sim.NewNetwork(topo, sim.Config{Seed: 9})
+		d := RunDiscovery(net, src, dst, FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: budget, SuppressReplies: true})
+		if d.Overhead() < prev {
+			t.Errorf("overhead with budget %d (%d) below smaller budget (%d)", budget, d.Overhead(), prev)
+		}
+		prev = d.Overhead()
+	}
+}
+
+func TestWaitWindowTruncatesCollection(t *testing.T) {
+	topo := gridTopo(5, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 4, 3)
+	full := RunDiscovery(sim.NewNetwork(topo, sim.Config{Seed: 6}), src, dst,
+		FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 6, HopSlack: -1, SuppressReplies: true})
+	// A near-zero window keeps only copies arriving (essentially) with the
+	// first one.
+	tiny := RunDiscovery(sim.NewNetwork(topo, sim.Config{Seed: 6}), src, dst,
+		FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 6, HopSlack: -1,
+			WaitWindow: 0.001, SuppressReplies: true})
+	if len(tiny.Routes) >= len(full.Routes) {
+		t.Errorf("tiny window kept %d routes, full kept %d", len(tiny.Routes), len(full.Routes))
+	}
+	if len(tiny.Routes) == 0 {
+		t.Error("the first arrival itself must always be kept")
+	}
+	// The window is relative to the first arrival, so FirstArrival match.
+	if tiny.FirstArrival != full.FirstArrival {
+		t.Errorf("first arrivals differ: %v vs %v", tiny.FirstArrival, full.FirstArrival)
+	}
+}
+
+func TestArrivalTimesOrdered(t *testing.T) {
+	topo := gridTopo(6, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 5, 3)
+	d := RunDiscovery(sim.NewNetwork(topo, sim.Config{Seed: 7}), src, dst,
+		FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 4, SuppressReplies: true})
+	if d.FirstArrival > d.LastArrival {
+		t.Errorf("FirstArrival %v after LastArrival %v", d.FirstArrival, d.LastArrival)
+	}
+	if d.FirstArrival <= 0 {
+		t.Error("arrivals not recorded")
+	}
+}

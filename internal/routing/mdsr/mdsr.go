@@ -1,0 +1,111 @@
+// Package mdsr implements Multipath DSR (Nasipuri & Das, IC3N 1999), the
+// third multi-path protocol the paper's conclusion discusses. MDSR keeps
+// DSR's forwarding untouched — intermediate nodes discard every duplicate
+// RREQ — and obtains multiple routes purely at the destination, which
+// replies only to copies that are link-disjoint from the primary (first-
+// arriving) route. As the paper notes, MDSR therefore does NOT provide more
+// candidate routes than DSR for statistical analysis; the extension
+// experiment quantifies how much that costs SAM.
+package mdsr
+
+import (
+	"samnet/internal/routing"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// Protocol is MDSR route discovery. The zero value is ready to use.
+type Protocol struct {
+	// MaxAlternates caps the disjoint alternate routes kept besides the
+	// primary (default 2).
+	MaxAlternates int
+	// SuppressReplies skips the RREP phase.
+	SuppressReplies bool
+}
+
+// Name implements routing.Protocol.
+func (p *Protocol) Name() string { return "MDSR" }
+
+// Discover implements routing.Protocol. It reuses the shared flooding
+// framework with DSR's forward-once rule, then prunes the destination's
+// collection to the primary route plus link-disjoint alternates.
+func (p *Protocol) Discover(net *sim.Network, src, dst topology.NodeID) *routing.Discovery {
+	maxAlt := p.MaxAlternates
+	if maxAlt == 0 {
+		maxAlt = 2
+	}
+	d := routing.RunDiscovery(net, src, dst, routing.FloodConfig{
+		Name:            p.Name(),
+		Rule:            func(self, from topology.NodeID, q *routing.RREQ, st *routing.NodeState) bool { return !st.Seen },
+		ReplyAll:        true,
+		HopSlack:        -1, // MDSR's destination sees every surviving copy
+		SuppressReplies: true,
+	})
+	d.Protocol = p.Name()
+	d.Routes = pruneDisjoint(d.Routes, maxAlt)
+
+	if !p.SuppressReplies && len(d.Routes) > 0 {
+		// Reply along each retained route (source-routed RREPs, as DSR).
+		// Rebuilding the reply phase here keeps the pruning decision local.
+		replies := replyPhase(net, d.Routes)
+		d.Replies = replies
+		d.TxTotal, d.RxTotal = net.TotalTraffic()
+	}
+	return d
+}
+
+// pruneDisjoint keeps routes[0] (the primary) and up to maxAlt further
+// routes that share no link with any retained route — MDSR's destination
+// policy.
+func pruneDisjoint(routes []routing.Route, maxAlt int) []routing.Route {
+	if len(routes) == 0 {
+		return nil
+	}
+	kept := []routing.Route{routes[0]}
+	for _, c := range routes[1:] {
+		if len(kept)-1 == maxAlt {
+			break
+		}
+		disjoint := true
+		for _, k := range kept {
+			if c.SharedLinks(k) > 0 {
+				disjoint = false
+				break
+			}
+		}
+		if disjoint {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// replyPhase sends one source-routed RREP per route and reports which made
+// it back (re-using the shared relay handlers installed by RunDiscovery).
+func replyPhase(net *sim.Network, routes []routing.Route) []routing.Route {
+	delivered := make([]routing.Route, 0, len(routes))
+	h := sim.HandlerFunc(func(n *sim.Network, self, from topology.NodeID, pkt sim.Packet) {
+		p, ok := pkt.(*routing.RREP)
+		if !ok || p.Route[p.Pos] != self {
+			return
+		}
+		if p.Pos == 0 {
+			delivered = append(delivered, p.Route)
+			return
+		}
+		n.Unicast(self, p.Route[p.Pos-1], &routing.RREP{ReqID: p.ReqID, Route: p.Route, Pos: p.Pos - 1})
+	})
+	net.SetAllHandlers(h)
+	for _, r := range routes {
+		r := r
+		if len(r) < 2 {
+			continue
+		}
+		net.Schedule(0, func() {
+			last := len(r) - 1
+			net.Unicast(r[last], r[last-1], &routing.RREP{ReqID: 1, Route: r.Clone(), Pos: last - 1})
+		})
+	}
+	net.Run()
+	return delivered
+}

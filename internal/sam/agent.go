@@ -1,0 +1,134 @@
+package sam
+
+import (
+	"sort"
+	"sync"
+
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+// Agent is one node's IDS agent (paper Fig. 4): SAM as the data-collection
+// and feature-extraction module feeding a local detection module, with a
+// response module delivering alerts. Each node that acts as a destination
+// runs one. Agents are independent; cooperation happens through a
+// Coordinator.
+type Agent struct {
+	Node     topology.NodeID
+	pipeline *Pipeline
+	history  []Outcome
+}
+
+// NewAgent builds an agent for node id around a detection pipeline.
+func NewAgent(id topology.NodeID, p *Pipeline) *Agent {
+	return &Agent{Node: id, pipeline: p}
+}
+
+// OnRouteDiscovery feeds the agent the route set its node collected as the
+// destination of one route discovery, runs the three-step procedure, and
+// records the outcome.
+func (a *Agent) OnRouteDiscovery(routes []routing.Route) Outcome {
+	out := a.pipeline.Process(routes)
+	a.history = append(a.history, out)
+	return out
+}
+
+// History returns every outcome the agent has produced, oldest first.
+func (a *Agent) History() []Outcome { return a.history }
+
+// Alerts returns only the confirmed attack reports in the history.
+func (a *Agent) Alerts() []AttackReport {
+	var out []AttackReport
+	for _, o := range a.history {
+		if o.Report != nil && o.Report.Confirmed {
+			out = append(out, *o.Report)
+		}
+	}
+	return out
+}
+
+// Coordinator aggregates attack reports from many agents — the cooperative
+// half of the distributed IDS. A node accused by at least Quorum distinct
+// reporting agents lands on the blacklist; isolation (removing it from
+// routing) is then the network's move. Coordinator is safe for concurrent
+// use by agents running in parallel experiment workers.
+type Coordinator struct {
+	mu sync.Mutex
+	// Quorum is the number of distinct accusing agents required (default 1:
+	// a single confirmed local detection suffices, as in the paper's
+	// "report to security authority" step).
+	Quorum    int
+	accusers  map[topology.NodeID]map[topology.NodeID]bool // suspect -> set of reporters
+	reports   []AttackReport
+	reporters map[topology.NodeID]int
+}
+
+// NewCoordinator builds a coordinator with the given quorum (minimum 1).
+func NewCoordinator(quorum int) *Coordinator {
+	if quorum < 1 {
+		quorum = 1
+	}
+	return &Coordinator{
+		Quorum:    quorum,
+		accusers:  make(map[topology.NodeID]map[topology.NodeID]bool),
+		reporters: make(map[topology.NodeID]int),
+	}
+}
+
+// Submit records a confirmed report from the given agent. Unconfirmed
+// reports are ignored: suspicion alone must not blacklist a node.
+func (c *Coordinator) Submit(reporter topology.NodeID, r AttackReport) {
+	if !r.Confirmed {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reports = append(c.reports, r)
+	c.reporters[reporter]++
+	for _, s := range r.Suspects {
+		set := c.accusers[s]
+		if set == nil {
+			set = make(map[topology.NodeID]bool)
+			c.accusers[s] = set
+		}
+		set[reporter] = true
+	}
+}
+
+// ResponderFor returns a Responder that submits an agent's reports under its
+// node id — the glue between a Pipeline and the Coordinator.
+func (c *Coordinator) ResponderFor(reporter topology.NodeID) Responder {
+	return ResponderFunc(func(r AttackReport) { c.Submit(reporter, r) })
+}
+
+// Blacklist returns the nodes accused by at least Quorum distinct agents,
+// in ascending id order.
+func (c *Coordinator) Blacklist() []topology.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []topology.NodeID
+	for n, set := range c.accusers {
+		if len(set) >= c.Quorum {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BlacklistSet returns the blacklist as a set, convenient for topology
+// exclusion.
+func (c *Coordinator) BlacklistSet() map[topology.NodeID]bool {
+	out := make(map[topology.NodeID]bool)
+	for _, n := range c.Blacklist() {
+		out[n] = true
+	}
+	return out
+}
+
+// Reports returns all confirmed reports received so far.
+func (c *Coordinator) Reports() []AttackReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AttackReport(nil), c.reports...)
+}

@@ -1,0 +1,253 @@
+package sam
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+// normalRoutes builds a spread-out route set: many distinct links, no
+// dominant one.
+func normalRoutes(variant int) []routing.Route {
+	base := topology.NodeID(20 * variant)
+	mk := func(ids ...int) routing.Route {
+		r := make(routing.Route, len(ids))
+		for i, id := range ids {
+			r[i] = base + topology.NodeID(id)
+		}
+		return r
+	}
+	return []routing.Route{
+		mk(0, 1, 2, 3, 19),
+		mk(0, 4, 5, 6, 19),
+		mk(0, 7, 8, 9, 19),
+		mk(0, 1, 5, 9, 19),
+		mk(0, 4, 8, 3, 19),
+	}
+}
+
+// attackRoutes builds a route set where one link (100-101) dominates, as a
+// wormhole tunnel does.
+func attackRoutes() []routing.Route {
+	return []routing.Route{
+		{0, 100, 101, 11, 19},
+		{1, 100, 101, 12, 19},
+		{2, 100, 101, 13, 19},
+		{3, 100, 101, 14, 19},
+		{4, 100, 101, 15, 19},
+		{5, 100, 101, 16, 19},
+	}
+}
+
+func trainedDetector(t *testing.T) *Detector {
+	t.Helper()
+	tr := NewTrainer("test", 0)
+	for v := 0; v < 12; v++ {
+		tr.ObserveRoutes(normalRoutes(v))
+	}
+	prof, err := tr.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDetector(prof, DetectorConfig{})
+}
+
+func TestTrainerRequiresRuns(t *testing.T) {
+	tr := NewTrainer("empty", 0)
+	if _, err := tr.Profile(); err == nil {
+		t.Error("profile from zero runs should error")
+	}
+}
+
+func TestTrainerIgnoresEmptyRouteSets(t *testing.T) {
+	tr := NewTrainer("x", 0)
+	tr.ObserveRoutes(nil)
+	if tr.Runs() != 0 {
+		t.Error("empty route set should not count as a run")
+	}
+}
+
+func TestDetectorNormalIsNormal(t *testing.T) {
+	d := trainedDetector(t)
+	v := d.Evaluate(Analyze(normalRoutes(99)))
+	if v.Decision != Normal {
+		t.Errorf("decision = %v (lambda=%.3f zp=%.2f zphi=%.2f tv=%.2f)",
+			v.Decision, v.Lambda, v.ZPMax, v.ZPhi, v.TV)
+	}
+	if v.Lambda < 0.9 {
+		t.Errorf("lambda = %v, want near 1 for normal traffic", v.Lambda)
+	}
+}
+
+func TestDetectorFlagsWormhole(t *testing.T) {
+	d := trainedDetector(t)
+	v := d.Evaluate(Analyze(attackRoutes()))
+	if v.Decision == Normal {
+		t.Fatalf("wormhole not flagged (lambda=%.3f zp=%.2f zphi=%.2f tv=%.2f)",
+			v.Lambda, v.ZPMax, v.ZPhi, v.TV)
+	}
+	if v.Lambda > 0.7 {
+		t.Errorf("lambda = %v, want low under attack", v.Lambda)
+	}
+	want := Analyze(attackRoutes()).MaxLink
+	if v.SuspectLink != want {
+		t.Errorf("suspect link = %v, want %v", v.SuspectLink, want)
+	}
+	if v.Suspects[0] != 100 || v.Suspects[1] != 101 {
+		t.Errorf("suspects = %v, want the tunnel endpoints", v.Suspects)
+	}
+}
+
+func TestDetectorEmptyRouteSet(t *testing.T) {
+	d := trainedDetector(t)
+	v := d.Evaluate(Analyze(nil))
+	if v.Decision != Normal || v.Lambda != 1 {
+		t.Errorf("empty evaluation = %+v", v)
+	}
+}
+
+func TestLambdaMonotoneInDominance(t *testing.T) {
+	// The more routes the tunnel captures, the lower lambda should go.
+	d := trainedDetector(t)
+	mkRoutes := func(tunnelShare int) []routing.Route {
+		var rs []routing.Route
+		for i := 0; i < tunnelShare; i++ {
+			rs = append(rs, routing.Route{topology.NodeID(i), 100, 101, topology.NodeID(30 + i), 19})
+		}
+		for i := tunnelShare; i < 6; i++ {
+			rs = append(rs, routing.Route{topology.NodeID(i), topology.NodeID(40 + i), topology.NodeID(50 + i), 19})
+		}
+		return rs
+	}
+	prev := 2.0
+	for _, share := range []int{2, 4, 6} {
+		v := d.Evaluate(Analyze(mkRoutes(share)))
+		if v.Lambda > prev+1e-9 {
+			t.Errorf("lambda rose from %.3f to %.3f as dominance grew", prev, v.Lambda)
+		}
+		prev = v.Lambda
+	}
+}
+
+func TestUpdateAdaptsOnlyWhenNormal(t *testing.T) {
+	d := trainedDetector(t)
+	pm0, ph0 := d.AdaptiveMeans()
+
+	// Attacked observation with lambda = 0: no movement at all.
+	d.Update(Analyze(attackRoutes()), 0)
+	pm1, ph1 := d.AdaptiveMeans()
+	if pm1 != pm0 || ph1 != ph0 {
+		t.Error("lambda=0 update must not move the profile")
+	}
+
+	// Normal observation with lambda = 1: moves by beta toward observation.
+	obs := Analyze(normalRoutes(3))
+	d.Update(obs, 1)
+	pm2, _ := d.AdaptiveMeans()
+	beta := d.Config().Beta
+	want := beta*obs.PMax + (1-beta)*pm0
+	if math.Abs(pm2-want) > 1e-12 {
+		t.Errorf("update = %v, want %v (eq. 8)", pm2, want)
+	}
+}
+
+func TestUpdateRejectsBadLambda(t *testing.T) {
+	d := trainedDetector(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("lambda out of range should panic")
+		}
+	}()
+	d.Update(Analyze(normalRoutes(0)), 1.5)
+}
+
+func TestUpdateIgnoresEmptyStats(t *testing.T) {
+	d := trainedDetector(t)
+	pm0, _ := d.AdaptiveMeans()
+	d.Update(Analyze(nil), 1)
+	pm1, _ := d.AdaptiveMeans()
+	if pm0 != pm1 {
+		t.Error("empty stats must not move the profile")
+	}
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	tr := NewTrainer("x", 0)
+	tr.ObserveRoutes(normalRoutes(0))
+	prof, _ := tr.Profile()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("beta out of range should panic")
+			}
+		}()
+		NewDetector(prof, DetectorConfig{Beta: 1.5})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil profile should panic")
+			}
+		}()
+		NewDetector(nil, DetectorConfig{})
+	}()
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		Normal:     "normal",
+		Suspicious: "suspicious",
+		Attacked:   "attacked",
+	} {
+		if d.String() != want {
+			t.Errorf("String(%v) = %q", int(d), d.String())
+		}
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	tr := NewTrainer("cluster-1tier/MR", 25)
+	for v := 0; v < 5; v++ {
+		tr.ObserveRoutes(normalRoutes(v))
+	}
+	prof, _ := tr.Profile()
+	blob, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != prof.Label || back.PMax != prof.PMax || back.Phi != prof.Phi {
+		t.Error("round trip lost summaries")
+	}
+	if back.PMF.Total != prof.PMF.Total || back.PMF.Bins() != prof.PMF.Bins() {
+		t.Error("round trip lost PMF")
+	}
+}
+
+func TestProfileJSONRejectsCorrupt(t *testing.T) {
+	var p Profile
+	if err := json.Unmarshal([]byte(`{"label":"x","pmf_counts":[],"pmf_total":0}`), &p); err == nil {
+		t.Error("no bins should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"label":"x","pmf_counts":[1,2],"pmf_total":5}`), &p); err == nil {
+		t.Error("mismatched total should be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"label":"x","pmf_counts":[-1,4],"pmf_total":3}`), &p); err == nil {
+		t.Error("negative count should be rejected")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	if ramp(0, 1, 3) != 0 || ramp(3, 1, 3) != 1 || ramp(2, 1, 3) != 0.5 {
+		t.Error("ramp wrong")
+	}
+	if ramp(10, 1, 3) != 1 || ramp(-10, 1, 3) != 0 {
+		t.Error("ramp clamp wrong")
+	}
+}

@@ -1,0 +1,61 @@
+package sam
+
+import (
+	"testing"
+
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+// FuzzAnalyze feeds Analyze arbitrary byte-derived route sets and checks its
+// invariants never break: no panics, frequencies sum to 1, phi and p_max in
+// range, and the suspect link (when N > 0) is one of the counted links.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 0, 5, 6, 0})
+	f.Add([]byte{})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode: bytes are node ids; zero terminates a route.
+		var routes []routing.Route
+		var cur routing.Route
+		for _, b := range data {
+			if b == 0 {
+				if len(cur) > 0 {
+					routes = append(routes, cur)
+					cur = nil
+				}
+				continue
+			}
+			cur = append(cur, topology.NodeID(b))
+		}
+		if len(cur) > 0 {
+			routes = append(routes, cur)
+		}
+
+		s := Analyze(routes)
+		if s.N == 0 {
+			if s.PMax != 0 || s.Phi != 0 {
+				t.Fatalf("empty stats carry values: %+v", s)
+			}
+			return
+		}
+		if s.PMax <= 0 || s.PMax > 1 || s.Phi < 0 || s.Phi > 1 {
+			t.Fatalf("out-of-range statistics: %+v", s)
+		}
+		var sum float64
+		found := false
+		for _, lc := range s.ByLink {
+			sum += lc.P
+			if lc.Link == s.Suspect {
+				found = true
+			}
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("frequencies sum to %v", sum)
+		}
+		if !found {
+			t.Fatalf("suspect %v is not a counted link", s.Suspect)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package sam
+
+import (
+	"testing"
+)
+
+func trainedPMFDetector(t *testing.T) *PMFDetector {
+	t.Helper()
+	tr := NewTrainer("pmf-test", 0)
+	for v := 0; v < 12; v++ {
+		tr.ObserveRoutes(normalRoutes(v))
+	}
+	prof, err := tr.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPMFDetector(prof, 0, 0)
+}
+
+func TestPMFDetectorNormal(t *testing.T) {
+	d := trainedPMFDetector(t)
+	v := d.Evaluate(Analyze(normalRoutes(99)))
+	if v.Attacked {
+		t.Errorf("normal routes flagged: %+v", v)
+	}
+}
+
+func TestPMFDetectorFlagsWormhole(t *testing.T) {
+	d := trainedPMFDetector(t)
+	v := d.Evaluate(Analyze(attackRoutes()))
+	if !v.Attacked {
+		t.Fatalf("attack not flagged: %+v", v)
+	}
+	if !v.ByTail {
+		t.Error("the isolated high-frequency link should trip the tail test")
+	}
+	if v.SuspectLink.A != 100 || v.SuspectLink.B != 101 {
+		t.Errorf("suspect = %v", v.SuspectLink)
+	}
+}
+
+func TestPMFDetectorEmpty(t *testing.T) {
+	d := trainedPMFDetector(t)
+	if v := d.Evaluate(Analyze(nil)); v.Attacked {
+		t.Error("empty route set flagged")
+	}
+}
+
+func TestHighUsageProbabilityMonotone(t *testing.T) {
+	d := trainedPMFDetector(t)
+	prev := 1.1
+	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.5} {
+		got := d.HighUsageProbability(p)
+		if got > prev {
+			t.Errorf("tail mass rose from %v to %v at p=%v", prev, got, p)
+		}
+		prev = got
+	}
+	if d.HighUsageProbability(0) != 1 {
+		t.Error("tail mass at 0 must be 1")
+	}
+}
+
+func TestPMFDetectorNilProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil profile should panic")
+		}
+	}()
+	NewPMFDetector(nil, 0, 0)
+}
+
+func TestPMFDetectorThresholdsRespected(t *testing.T) {
+	tr := NewTrainer("x", 0)
+	tr.ObserveRoutes(normalRoutes(0))
+	prof, _ := tr.Profile()
+	// Absurdly lax thresholds: nothing should trigger.
+	lax := NewPMFDetector(prof, 2.0, -1)
+	if v := lax.Evaluate(Analyze(attackRoutes())); v.Attacked {
+		t.Errorf("lax thresholds still flagged: %+v", v)
+	}
+	// Hair-trigger TV threshold with the tail test disabled: the attack's
+	// distribution shift must trip TV on its own.
+	strict := NewPMFDetector(prof, 1e-9, -1)
+	if v := strict.Evaluate(Analyze(attackRoutes())); !v.ByTV {
+		t.Errorf("strict TV threshold did not trip: %+v", v)
+	}
+}

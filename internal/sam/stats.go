@@ -1,0 +1,180 @@
+// Package sam implements the paper's contribution: Statistical Analysis of
+// Multi-path routing (SAM). Given the set R of routes obtained by one route
+// discovery, SAM computes link-frequency statistics — the maximum relative
+// frequency p_max and the normalized top-two gap phi — and compares them (and
+// the full PMF of relative frequencies) against a profile trained under
+// normal conditions. A wormhole makes its tunnel link appear in nearly every
+// route, so both statistics jump; the most frequent link then localizes the
+// attacker pair. No time synchronization, GPS, or protocol changes are
+// needed: SAM consumes only information multi-path routing already collects.
+package sam
+
+import (
+	"fmt"
+	"sort"
+
+	"samnet/internal/routing"
+	"samnet/internal/stats"
+	"samnet/internal/topology"
+)
+
+// LinkCount pairs a distinct link with its occurrence count n_i and relative
+// frequency p_i = n_i/N.
+type LinkCount struct {
+	Link  topology.Link
+	Count int
+	P     float64
+}
+
+// Stats holds the statistics of one route set R, using the paper's notation:
+// L is the set of distinct links, n_i the occurrences of link i, N the total
+// (non-distinct) link count, p_i = n_i/N, PMax = max p_i, and
+// Phi = (n_max - n_2nd) / n_max.
+type Stats struct {
+	Routes int // |R|
+	N      int // total non-distinct links across R
+
+	// ByLink lists every distinct link sorted by decreasing count (ties:
+	// ascending link order), so ByLink[0] is the most frequent link.
+	ByLink []LinkCount
+
+	PMax    float64       // maximum relative frequency
+	MaxLink topology.Link // the link achieving PMax
+	NMax    int           // n_max
+	N2nd    int           // n_2nd: highest count among other links
+	Phi     float64       // (n_max - n_2nd)/n_max; 0 if N == 0
+
+	// Suspect is the localization answer: the accused link. Usually it is
+	// MaxLink, but when several links tie at the maximum (they then lie on
+	// every route), links incident to the source or destination are
+	// discarded — a bottleneck at an endpoint is expected, not evidence —
+	// and the middle of the remaining chain is accused: a wormhole's entry
+	// and exit links tie with the tunnel itself, and the tunnel sits
+	// between them.
+	Suspect topology.Link
+}
+
+// Analyze computes the SAM statistics of a route set.
+func Analyze(routes []routing.Route) Stats {
+	var s Stats
+	s.Routes = len(routes)
+	counts := make(map[topology.Link]int)
+	for _, r := range routes {
+		for _, l := range r.Links() {
+			counts[l]++
+			s.N++
+		}
+	}
+	if s.N == 0 {
+		return s
+	}
+	s.ByLink = make([]LinkCount, 0, len(counts))
+	for l, c := range counts {
+		s.ByLink = append(s.ByLink, LinkCount{Link: l, Count: c, P: float64(c) / float64(s.N)})
+	}
+	sort.Slice(s.ByLink, func(i, j int) bool {
+		if s.ByLink[i].Count != s.ByLink[j].Count {
+			return s.ByLink[i].Count > s.ByLink[j].Count
+		}
+		if s.ByLink[i].Link.A != s.ByLink[j].Link.A {
+			return s.ByLink[i].Link.A < s.ByLink[j].Link.A
+		}
+		return s.ByLink[i].Link.B < s.ByLink[j].Link.B
+	})
+	top := s.ByLink[0]
+	s.MaxLink = top.Link
+	s.NMax = top.Count
+	s.PMax = top.P
+	if len(s.ByLink) > 1 {
+		s.N2nd = s.ByLink[1].Count
+	}
+	// Phi = (n_max - n_2nd)/n_max. When two links tie for the maximum,
+	// n_2nd == n_max and Phi = 0 — the paper's special case (attackers in
+	// the same row/column as source or destination).
+	s.Phi = float64(s.NMax-s.N2nd) / float64(s.NMax)
+	s.Suspect = localize(routes, s)
+	return s
+}
+
+// localize picks the accused link from the statistics. See Stats.Suspect.
+func localize(routes []routing.Route, s Stats) topology.Link {
+	top := make(map[topology.Link]bool)
+	for _, lc := range s.ByLink {
+		if lc.Count != s.NMax {
+			break // ByLink is sorted by decreasing count
+		}
+		top[lc.Link] = true
+	}
+	if len(top) == 1 {
+		return s.MaxLink
+	}
+	// Every tied link appears n_max times; when n_max equals the route
+	// count they all lie on every route, so the first route orders them.
+	ref := routes[0]
+	src, dst := ref[0], ref[len(ref)-1]
+	var ordered, filtered []topology.Link
+	for _, l := range ref.Links() {
+		if !top[l] {
+			continue
+		}
+		ordered = append(ordered, l)
+		if l.A != src && l.B != src && l.A != dst && l.B != dst {
+			filtered = append(filtered, l)
+		}
+	}
+	switch {
+	case len(filtered) > 0:
+		return filtered[len(filtered)/2]
+	case len(ordered) > 0:
+		return ordered[len(ordered)/2]
+	default:
+		return s.MaxLink
+	}
+}
+
+// Frequencies returns all relative frequencies p_i (the samples whose PMF
+// Fig. 5 plots), in ByLink order.
+func (s Stats) Frequencies() []float64 {
+	out := make([]float64, len(s.ByLink))
+	for i, lc := range s.ByLink {
+		out[i] = lc.P
+	}
+	return out
+}
+
+// PMF bins the relative frequencies into a stats.PMF with the given bin
+// count.
+func (s Stats) PMF(bins int) *stats.PMF {
+	p := stats.NewPMF(bins)
+	p.AddAll(s.Frequencies())
+	return p
+}
+
+// TopLinks returns the k most frequent links (fewer if not available).
+func (s Stats) TopLinks(k int) []LinkCount {
+	if k > len(s.ByLink) {
+		k = len(s.ByLink)
+	}
+	return s.ByLink[:k]
+}
+
+// OutlierLinks returns every link whose relative frequency is at least
+// cutoff. With multiple wormholes, each tunnel shows up as its own outlier;
+// localization for Fig. 15 uses this.
+func (s Stats) OutlierLinks(cutoff float64) []LinkCount {
+	var out []LinkCount
+	for _, lc := range s.ByLink {
+		if lc.P >= cutoff {
+			out = append(out, lc)
+		} else {
+			break // ByLink is sorted by decreasing count
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("routes=%d N=%d distinct=%d pmax=%.4f (link %s) phi=%.4f",
+		s.Routes, s.N, len(s.ByLink), s.PMax, s.MaxLink, s.Phi)
+}

@@ -1,0 +1,106 @@
+// Package sim is a deterministic discrete-event simulator for broadcast
+// wireless networks. It provides a virtual clock, an event queue with
+// stable tie-breaking, and a Network that delivers packets between nodes
+// over unit-disk links (plus any out-of-band tunnel links), counting every
+// transmission and reception — the paper's route-discovery overhead metric.
+//
+// Determinism: every run is fully determined by its seed. Events at equal
+// times fire in scheduling order (a monotone sequence number breaks ties),
+// and all randomness flows from one seeded PCG source.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Time is virtual simulation time. One unit is one nominal hop transmission
+// delay (see Config.HopDelay).
+type Time float64
+
+// Forever is a time later than any event a simulation schedules.
+const Forever Time = Time(math.MaxFloat64)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. The zero value is ready to use.
+type Engine struct {
+	pq        eventHeap
+	now       Time
+	seq       uint64
+	processed uint64
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule runs fn after delay d. A negative delay panics: the simulator
+// does not travel backwards.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time { return e.RunUntil(Forever) }
+
+// RunUntil executes events with time <= deadline, leaves later events
+// queued, advances the clock to min(deadline, last event time), and returns
+// the current time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.pq) > 0 && e.pq[0].at <= deadline {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	if deadline != Forever && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step executes exactly one event if any is pending and reports whether it
+// did.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}

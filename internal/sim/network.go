@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"samnet/internal/topology"
+)
+
+// Packet is any protocol payload carried by the network. Protocols define
+// their own concrete packet types; the network treats them opaquely.
+type Packet interface{}
+
+// Handler is the per-node protocol logic. Recv is invoked once per
+// reception, at the virtual time the packet arrives.
+type Handler interface {
+	Recv(n *Network, self, from topology.NodeID, pkt Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(n *Network, self, from topology.NodeID, pkt Packet)
+
+// Recv implements Handler.
+func (f HandlerFunc) Recv(n *Network, self, from topology.NodeID, pkt Packet) {
+	f(n, self, from, pkt)
+}
+
+// DropFunc decides whether a particular reception is lost. It models both
+// link-level loss and malicious payload dropping (black/grey holes). Return
+// true to drop the packet before the receiving handler sees it. The
+// transmission is still counted; the reception is not.
+type DropFunc func(n *Network, from, to topology.NodeID, pkt Packet) bool
+
+// Config parameterizes a Network.
+type Config struct {
+	// HopDelay is the nominal transmission delay per hop (default 1).
+	HopDelay Time
+	// Jitter is the maximum extra uniform random delay added to each
+	// broadcast, modeling MAC contention and breaking grid symmetry
+	// (default 0.1). All receivers of one broadcast share the same jitter,
+	// as they would share one on-air transmission.
+	Jitter float64
+	// LossRate is the probability that any single reception is lost to
+	// channel noise (independent per receiver; default 0). Lost receptions
+	// are counted as transmissions but not receptions, like attack drops.
+	LossRate float64
+	// Seed feeds the simulation's PCG random source.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.HopDelay == 0 {
+		c.HopDelay = 1
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+}
+
+// Network couples an Engine with a topology, per-node handlers and
+// transmission/reception counters.
+type Network struct {
+	Engine
+	topo     *topology.Topology
+	handlers []Handler
+	rng      *rand.Rand
+	cfg      Config
+	drop     DropFunc
+
+	tx []int64 // transmissions per node
+	rx []int64 // receptions per node
+
+	// delayFactor scales a node's transmission delay (rushing attackers
+	// transmit "faster" by skipping MAC politeness); nil means all 1.
+	delayFactor []float64
+
+	lost int64 // receptions destroyed by channel loss
+}
+
+// NewNetwork builds a network over topo. Handlers default to a no-op; set
+// them with SetHandler before injecting traffic.
+func NewNetwork(topo *topology.Topology, cfg Config) *Network {
+	cfg.defaults()
+	n := &Network{
+		topo:     topo,
+		handlers: make([]Handler, topo.N()),
+		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x5a4d5e7b2f9c1d03)),
+		cfg:      cfg,
+		tx:       make([]int64, topo.N()),
+		rx:       make([]int64, topo.N()),
+	}
+	return n
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Rand returns the simulation's random source. Protocols needing randomness
+// must draw from it so runs stay reproducible.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// SetHandler installs the protocol logic for node id.
+func (n *Network) SetHandler(id topology.NodeID, h Handler) { n.handlers[id] = h }
+
+// SetAllHandlers installs h on every node.
+func (n *Network) SetAllHandlers(h Handler) {
+	for i := range n.handlers {
+		n.handlers[i] = h
+	}
+}
+
+// SetDropFunc installs the loss/attack drop decision (nil disables).
+func (n *Network) SetDropFunc(d DropFunc) { n.drop = d }
+
+// SetDelayFactor scales node id's transmission delay. Factors below 1 model
+// rushing attackers that skip MAC-level politeness to win duplicate-
+// suppression races; factors above 1 model congested or weak transmitters.
+func (n *Network) SetDelayFactor(id topology.NodeID, f float64) {
+	if f <= 0 {
+		panic("sim: delay factor must be positive")
+	}
+	if n.delayFactor == nil {
+		n.delayFactor = make([]float64, n.topo.N())
+		for i := range n.delayFactor {
+			n.delayFactor[i] = 1
+		}
+	}
+	n.delayFactor[id] = f
+}
+
+// Lost returns how many receptions channel noise destroyed.
+func (n *Network) Lost() int64 { return n.lost }
+
+// TxCount returns the number of transmissions node id has performed.
+func (n *Network) TxCount(id topology.NodeID) int64 { return n.tx[id] }
+
+// RxCount returns the number of receptions at node id.
+func (n *Network) RxCount(id topology.NodeID) int64 { return n.rx[id] }
+
+// TotalTraffic returns the total transmissions and receptions summed over
+// all nodes — the paper's Table II overhead metric.
+func (n *Network) TotalTraffic() (tx, rx int64) {
+	for i := range n.tx {
+		tx += n.tx[i]
+		rx += n.rx[i]
+	}
+	return tx, rx
+}
+
+// ResetCounters zeroes all traffic counters.
+func (n *Network) ResetCounters() {
+	for i := range n.tx {
+		n.tx[i] = 0
+		n.rx[i] = 0
+	}
+}
+
+// Broadcast transmits pkt from node "from" to every current neighbor. The
+// single on-air transmission is counted once; each neighbor that is not
+// dropped receives after HopDelay plus one shared jitter draw.
+func (n *Network) Broadcast(from topology.NodeID, pkt Packet) {
+	n.tx[from]++
+	delay := n.txDelay(from)
+	for _, to := range n.topo.Neighbors(from) {
+		n.deliver(from, to, pkt, delay)
+	}
+}
+
+func (n *Network) txDelay(from topology.NodeID) Time {
+	d := n.cfg.HopDelay + Time(n.rng.Float64()*n.cfg.Jitter)
+	if n.delayFactor != nil {
+		d *= Time(n.delayFactor[from])
+	}
+	return d
+}
+
+// Unicast transmits pkt from "from" to adjacent node "to". It panics if the
+// nodes are not adjacent: routing bugs should fail loudly, not silently
+// teleport packets.
+func (n *Network) Unicast(from, to topology.NodeID, pkt Packet) {
+	if !n.topo.Adjacent(from, to) {
+		panic(fmt.Sprintf("sim: unicast between non-adjacent nodes %d and %d", from, to))
+	}
+	n.tx[from]++
+	n.deliver(from, to, pkt, n.txDelay(from))
+}
+
+func (n *Network) deliver(from, to topology.NodeID, pkt Packet, delay Time) {
+	// Channel loss is drawn at transmission time so the loss pattern is
+	// independent of handler scheduling.
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.lost++
+		return
+	}
+	n.Schedule(delay, func() {
+		if n.drop != nil && n.drop(n, from, to, pkt) {
+			return
+		}
+		n.rx[to]++
+		if h := n.handlers[to]; h != nil {
+			h.Recv(n, to, from, pkt)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package viz renders topologies and routes as ASCII maps — the terminal
+// stand-in for the paper's topology figures (Figs. 1, 2, 9). Nodes are
+// plotted on a character grid scaled to the topology's bounding box;
+// attackers, sources, destinations and route members get distinct glyphs.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"samnet/internal/geom"
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+// Glyphs used by the renderer, in increasing precedence: a cell keeps the
+// highest-precedence glyph that lands on it.
+const (
+	GlyphEmpty    = ' '
+	GlyphNode     = '.'
+	GlyphRoute    = 'o'
+	GlyphSource   = 'S'
+	GlyphDest     = 'D'
+	GlyphAttacker = 'X'
+)
+
+var precedence = map[rune]int{
+	GlyphEmpty:    0,
+	GlyphNode:     1,
+	GlyphRoute:    2,
+	GlyphSource:   3,
+	GlyphDest:     3,
+	GlyphAttacker: 4,
+}
+
+// Map is a configured renderer for one topology.
+type Map struct {
+	topo *topology.Topology
+	// CellsPerUnit scales world units to grid columns (default 2 columns
+	// and 1 row per unit, approximating terminal cell aspect ratio).
+	CellsPerUnitX, CellsPerUnitY float64
+
+	attackers map[topology.NodeID]bool
+	sources   map[topology.NodeID]bool
+	dests     map[topology.NodeID]bool
+	onRoute   map[topology.NodeID]bool
+}
+
+// NewMap builds a renderer over topo.
+func NewMap(topo *topology.Topology) *Map {
+	return &Map{
+		topo:          topo,
+		CellsPerUnitX: 2,
+		CellsPerUnitY: 1,
+		attackers:     make(map[topology.NodeID]bool),
+		sources:       make(map[topology.NodeID]bool),
+		dests:         make(map[topology.NodeID]bool),
+		onRoute:       make(map[topology.NodeID]bool),
+	}
+}
+
+// MarkAttackers tags nodes with the attacker glyph.
+func (m *Map) MarkAttackers(ids ...topology.NodeID) *Map {
+	for _, id := range ids {
+		m.attackers[id] = true
+	}
+	return m
+}
+
+// MarkSource / MarkDest tag endpoints.
+func (m *Map) MarkSource(id topology.NodeID) *Map { m.sources[id] = true; return m }
+
+// MarkDest tags a destination node.
+func (m *Map) MarkDest(id topology.NodeID) *Map { m.dests[id] = true; return m }
+
+// MarkRoute tags every intermediate node of a route.
+func (m *Map) MarkRoute(r routing.Route) *Map {
+	for _, id := range r {
+		m.onRoute[id] = true
+	}
+	if len(r) > 0 {
+		m.MarkSource(r[0])
+		m.MarkDest(r[len(r)-1])
+	}
+	return m
+}
+
+func (m *Map) glyphFor(id topology.NodeID) rune {
+	switch {
+	case m.attackers[id]:
+		return GlyphAttacker
+	case m.sources[id]:
+		return GlyphSource
+	case m.dests[id]:
+		return GlyphDest
+	case m.onRoute[id]:
+		return GlyphRoute
+	default:
+		return GlyphNode
+	}
+}
+
+// Render draws the map. The y axis points up (row 0 is the top of the
+// bounding box), matching how the paper draws its figures.
+func (m *Map) Render() string {
+	n := m.topo.N()
+	if n == 0 {
+		return "(empty topology)\n"
+	}
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = m.topo.Pos(topology.NodeID(i))
+	}
+	box := geom.Bounds(pts)
+	cols := int(box.Width()*m.CellsPerUnitX) + 1
+	rows := int(box.Height()*m.CellsPerUnitY) + 1
+
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = GlyphEmpty
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		p := m.topo.Pos(id)
+		c := int((p.X - box.Min.X) * m.CellsPerUnitX)
+		r := rows - 1 - int((p.Y-box.Min.Y)*m.CellsPerUnitY)
+		if c < 0 || c >= cols || r < 0 || r >= rows {
+			continue
+		}
+		g := m.glyphFor(id)
+		if precedence[g] >= precedence[grid[r][c]] {
+			grid[r][c] = g
+		}
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString(strings.TrimRight(string(row), " "))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "legend: %c node  %c route  %c source  %c destination  %c attacker\n",
+		GlyphNode, GlyphRoute, GlyphSource, GlyphDest, GlyphAttacker)
+	return b.String()
+}
+
+// Network renders a topology.Network with its attacker pairs marked.
+func Network(net *topology.Network) string {
+	m := NewMap(net.Topo)
+	for _, p := range net.AttackerPairs {
+		m.MarkAttackers(p[0], p[1])
+	}
+	return m.Render()
+}
+
+// Discovery renders the network with one discovered route overlaid.
+func Discovery(net *topology.Network, route routing.Route) string {
+	m := NewMap(net.Topo)
+	for _, p := range net.AttackerPairs {
+		m.MarkAttackers(p[0], p[1])
+	}
+	m.MarkRoute(route)
+	return m.Render()
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"samnet/internal/geom"
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	topo := topology.New("empty", 1)
+	if got := NewMap(topo).Render(); !strings.Contains(got, "empty topology") {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestRenderGlyphs(t *testing.T) {
+	topo := topology.New("t", 1.5)
+	a := topo.AddNode(geom.Pt(0, 0))
+	b := topo.AddNode(geom.Pt(1, 0))
+	c := topo.AddNode(geom.Pt(2, 0))
+	d := topo.AddNode(geom.Pt(3, 0))
+	m := NewMap(topo)
+	m.MarkSource(a)
+	m.MarkDest(d)
+	m.MarkAttackers(c)
+	m.MarkRoute(routing.Route{a, b, c, d})
+	out := m.Render()
+	for _, g := range []string{"S", "D", "X", "o"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("render missing glyph %q:\n%s", g, out)
+		}
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+}
+
+func TestAttackerPrecedenceOverRoute(t *testing.T) {
+	topo := topology.New("t", 1.5)
+	a := topo.AddNode(geom.Pt(0, 0))
+	m := NewMap(topo)
+	m.MarkRoute(routing.Route{a})
+	m.MarkAttackers(a)
+	out := m.Render()
+	if strings.ContainsRune(out[:strings.Index(out, "legend")], 'S') {
+		t.Errorf("attacker glyph should override source:\n%s", out)
+	}
+	if !strings.ContainsRune(out, 'X') {
+		t.Errorf("attacker missing:\n%s", out)
+	}
+}
+
+// body strips the legend line so glyph counts only see the map.
+func body(out string) string {
+	if i := strings.Index(out, "legend:"); i >= 0 {
+		return out[:i]
+	}
+	return out
+}
+
+func TestRenderClusterShape(t *testing.T) {
+	net := topology.Cluster(1, 1)
+	out := Network(net)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 node rows + legend.
+	if len(lines) != 5 {
+		t.Fatalf("cluster render has %d lines:\n%s", len(lines), out)
+	}
+	m := body(out)
+	if strings.Count(m, "X") != 2 {
+		t.Errorf("want 2 attacker glyphs:\n%s", out)
+	}
+	total := strings.Count(m, ".") + strings.Count(m, "X")
+	if total != 42 {
+		t.Errorf("rendered %d nodes, want 42:\n%s", total, out)
+	}
+}
+
+func TestDiscoveryOverlay(t *testing.T) {
+	net := topology.Uniform(6, 6, 1, 0)
+	route := routing.Route{net.SrcPool[0]}
+	for _, id := range net.DstPool[:1] {
+		route = append(route, id)
+	}
+	// Only endpoints marked; no attackers.
+	out := Discovery(net, routing.Route{net.SrcPool[0], net.DstPool[0]})
+	m := body(out)
+	if !strings.Contains(m, "S") || !strings.Contains(m, "D") {
+		t.Errorf("overlay missing endpoints:\n%s", out)
+	}
+	if strings.Contains(m, "X") {
+		t.Error("no attackers expected")
+	}
+}
+
+func TestRandomRenderIsBounded(t *testing.T) {
+	net := topology.Uniform(10, 6, 1, 2)
+	out := Network(net)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 10*2+2 && !strings.HasPrefix(line, "legend") {
+			t.Errorf("line wider than grid: %q", line)
+		}
+	}
+}
