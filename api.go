@@ -13,6 +13,7 @@ import (
 	"samnet/internal/routing/dsr"
 	"samnet/internal/routing/mr"
 	"samnet/internal/sam"
+	"samnet/internal/service"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
 )
@@ -48,6 +49,11 @@ type (
 	Wormhole = attack.Wormhole
 	// Scenario bundles active wormholes and their payload behaviour.
 	Scenario = attack.Scenario
+	// DetectionService is the long-running HTTP/JSON scoring service built
+	// around SAM (see internal/service and cmd/samserve).
+	DetectionService = service.Service
+	// ServiceConfig tunes a DetectionService.
+	ServiceConfig = service.Config
 )
 
 // Payload behaviours for wormhole endpoints.
@@ -129,6 +135,12 @@ func NewTrainer(label string) *Trainer { return sam.NewTrainer(label, 0) }
 // NewDetector builds a detector with default configuration over a trained
 // profile.
 func NewDetector(p *Profile) *Detector { return sam.NewDetector(p, sam.DetectorConfig{}) }
+
+// NewDetectionService builds a SAM detection service: a sharded profile
+// store plus a bounded worker pool, served over HTTP via its Handler. The
+// zero Config selects production defaults. Close the service only after its
+// HTTP server has fully shut down.
+func NewDetectionService(cfg ServiceConfig) *DetectionService { return service.New(cfg) }
 
 // ProbeRoutes sends one test data packet along each route on a fresh
 // simulation of net (with sc's payload policy armed if non-nil) and reports

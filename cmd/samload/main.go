@@ -1,0 +1,366 @@
+// Command samload is the end-to-end serving benchmark for samserve. It
+// builds a topology through the library facade, runs multi-path route
+// discoveries under normal and wormhole conditions, trains a profile over
+// the service API, and then drives the detect endpoints with concurrent
+// clients — reporting throughput, latency percentiles, and detection
+// accuracy (detection rate on wormhole route sets, false-positive rate on
+// normal ones).
+//
+// Usage:
+//
+//	samload [-addr http://host:port] [-clients N] [-duration 5s]
+//	        [-requests N] [-batch K] [-topo cluster|uniform6x6|uniform10x6]
+//	        [-tier K] [-train N] [-corpus N] [-profile name] [-seed S]
+//
+// With no -addr, samload starts an in-process samserve on a loopback port
+// and benchmarks that, so `samload` alone measures the full serving path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	samnet "samnet"
+	"samnet/internal/cli"
+	"samnet/internal/service"
+)
+
+type corpusItem struct {
+	payload []byte // pre-marshalled request body
+	attacks []bool // ground truth per route set in the body
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server base URL (empty = start an in-process server)")
+		clients  = flag.Int("clients", 32, "concurrent client goroutines")
+		duration = flag.Duration("duration", 5*time.Second, "load duration (ignored when -requests > 0)")
+		requests = flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
+		batch    = flag.Int("batch", 1, "route sets per request (1 = /v1/detect, >1 = /v1/detect/batch)")
+		topoName = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
+		tier     = flag.Int("tier", 1, "transmission range in grid spacings")
+		train    = flag.Int("train", 30, "normal discoveries used to train the profile")
+		corpus   = flag.Int("corpus", 64, "evaluation discoveries per condition (normal and attacked)")
+		profile  = flag.String("profile", "default", "profile name to train and score against")
+		seed     = flag.Uint64("seed", 2005, "master seed")
+	)
+	flag.Parse()
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	base, shutdown := resolveServer(*addr)
+	defer shutdown()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+
+	fmt.Fprintf(os.Stderr, "samload: generating route sets (%s, tier %d)\n", *topoName, *tier)
+	trainSets, normalSets, attackSets := generate(*topoName, *tier, *seed, *train, *corpus)
+
+	if err := trainProfile(client, base, *profile, trainSets); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "samload: trained profile %q on %d route sets\n", *profile, len(trainSets))
+
+	items := buildCorpus(*profile, normalSets, attackSets, *batch)
+	res := run(client, base, items, *clients, *requests, *duration, *batch)
+	res.report(os.Stdout)
+	if res.errors > 0 && res.ok == 0 {
+		os.Exit(1)
+	}
+}
+
+// resolveServer returns the base URL to drive and a shutdown function. With
+// an empty addr it starts an in-process service on a loopback port.
+func resolveServer(addr string) (string, func()) {
+	if addr != "" {
+		return addr, func() {}
+	}
+	svc := samnet.NewDetectionService(samnet.ServiceConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "samload: in-process server on %s\n", ln.Addr())
+	return "http://" + ln.Addr().String(), func() {
+		srv.Close()
+		svc.Close()
+	}
+}
+
+// generate produces training route sets plus the normal/attacked evaluation
+// corpus, all from MR discoveries on the named topology.
+func generate(topoName string, tier int, seed uint64, train, corpus int) (trainSets, normal, attacked [][][]int) {
+	discover := func(net *samnet.Network, n int, seedBase uint64) [][][]int {
+		out := make([][][]int, 0, n)
+		rng := rand.New(rand.NewPCG(seedBase, 0x10ad))
+		for i := 0; i < n; i++ {
+			src, dst := net.PickPair(rng)
+			d := samnet.DiscoverMR(net, src, dst, seedBase+uint64(i)*7919)
+			out = append(out, routesJSON(d.Routes))
+		}
+		return out
+	}
+
+	buildNet := func() *samnet.Network {
+		net, err := cli.BuildTopology(topoName, tier, seed)
+		if err != nil {
+			fatal(err)
+		}
+		return net
+	}
+
+	net := buildNet()
+	trainSets = discover(net, train, seed)
+	normal = discover(net, corpus, seed+1_000_000)
+
+	sc := samnet.Attack(net, 1, samnet.BehaviorForward)
+	attacked = discover(net, corpus, seed+2_000_000)
+	sc.Teardown()
+	return trainSets, normal, attacked
+}
+
+func routesJSON(routes []samnet.Route) [][]int {
+	out := make([][]int, len(routes))
+	for i, r := range routes {
+		nodes := make([]int, len(r))
+		for j, id := range r {
+			nodes[j] = int(id)
+		}
+		out[i] = nodes
+	}
+	return out
+}
+
+func trainProfile(client *http.Client, base, profile string, sets [][][]int) error {
+	body, err := json.Marshal(service.TrainRequest{RouteSets: sets})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/profiles/"+profile+"/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("train: %s: %s", resp.Status, blob)
+	}
+	return nil
+}
+
+// buildCorpus pre-marshals the request bodies: alternating normal/attacked
+// route sets, grouped batch-at-a-time when batch > 1.
+func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpusItem {
+	type labeled struct {
+		set    [][]int
+		attack bool
+	}
+	var all []labeled
+	for i := 0; i < len(normal) || i < len(attacked); i++ {
+		if i < len(normal) {
+			all = append(all, labeled{normal[i], false})
+		}
+		if i < len(attacked) {
+			all = append(all, labeled{attacked[i], true})
+		}
+	}
+	var items []corpusItem
+	if batch == 1 {
+		for _, l := range all {
+			body, err := json.Marshal(service.DetectRequest{Profile: profile, Routes: l.set})
+			if err != nil {
+				fatal(err)
+			}
+			items = append(items, corpusItem{payload: body, attacks: []bool{l.attack}})
+		}
+		return items
+	}
+	for at := 0; at < len(all); at += batch {
+		end := at + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		req := service.BatchDetectRequest{Profile: profile}
+		var truth []bool
+		for _, l := range all[at:end] {
+			req.Items = append(req.Items, l.set)
+			truth = append(truth, l.attack)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		items = append(items, corpusItem{payload: body, attacks: truth})
+	}
+	return items
+}
+
+type result struct {
+	ok, errors, rejected int64
+	elapsed              time.Duration
+	latencies            []time.Duration
+	scored               int64 // route sets scored (ok requests * batch items)
+	truePos, falsePos    int64
+	attackSeen, normSeen int64
+}
+
+// run drives the corpus with the given concurrency until the request budget
+// or deadline runs out.
+func run(client *http.Client, base string, items []corpusItem, clients, requests int, duration time.Duration, batch int) *result {
+	endpoint := base + "/v1/detect"
+	if batch > 1 {
+		endpoint = base + "/v1/detect/batch"
+	}
+
+	var next atomic.Int64
+	deadline := time.Now().Add(duration)
+	budget := int64(requests)
+
+	res := &result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lat []time.Duration
+			var ok, errs, rejected, scored, tp, fp, atk, nrm int64
+			for {
+				idx := next.Add(1) - 1
+				if budget > 0 {
+					if idx >= budget {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				item := items[idx%int64(len(items))]
+				begin := time.Now()
+				decisions, status, err := post(client, endpoint, item.payload, batch)
+				took := time.Since(begin)
+				switch {
+				case err != nil:
+					errs++
+					continue
+				case status == http.StatusTooManyRequests:
+					rejected++
+					continue
+				case status != http.StatusOK:
+					errs++
+					continue
+				}
+				ok++
+				lat = append(lat, took)
+				for i, dec := range decisions {
+					if i >= len(item.attacks) {
+						break
+					}
+					scored++
+					positive := dec != "normal"
+					if item.attacks[i] {
+						atk++
+						if positive {
+							tp++
+						}
+					} else {
+						nrm++
+						if positive {
+							fp++
+						}
+					}
+				}
+			}
+			mu.Lock()
+			res.latencies = append(res.latencies, lat...)
+			res.ok += ok
+			res.errors += errs
+			res.rejected += rejected
+			res.scored += scored
+			res.truePos += tp
+			res.falsePos += fp
+			res.attackSeen += atk
+			res.normSeen += nrm
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// post issues one request and extracts the verdict decisions.
+func post(client *http.Client, endpoint string, payload []byte, batch int) ([]string, int, error) {
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	if batch == 1 {
+		var dr service.DetectResponse
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return []string{dr.Verdict.Decision}, resp.StatusCode, nil
+	}
+	var br service.BatchDetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	decisions := make([]string, len(br.Verdicts))
+	for i, v := range br.Verdicts {
+		decisions[i] = v.Decision
+	}
+	return decisions, resp.StatusCode, nil
+}
+
+func (r *result) report(w io.Writer) {
+	rps := float64(r.ok) / r.elapsed.Seconds()
+	fmt.Fprintf(w, "requests:       %d ok, %d rejected (429), %d errors in %s\n",
+		r.ok, r.rejected, r.errors, r.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput:     %.0f req/s (%.0f route sets/s)\n",
+		rps, float64(r.scored)/r.elapsed.Seconds())
+	if len(r.latencies) > 0 {
+		sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(r.latencies)-1))
+			return r.latencies[i]
+		}
+		fmt.Fprintf(w, "latency:        p50 %s  p90 %s  p99 %s  max %s\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	}
+	if r.attackSeen > 0 {
+		fmt.Fprintf(w, "detection rate: %.3f (%d/%d wormhole route sets flagged)\n",
+			float64(r.truePos)/float64(r.attackSeen), r.truePos, r.attackSeen)
+	}
+	if r.normSeen > 0 {
+		fmt.Fprintf(w, "false positives: %.3f (%d/%d normal route sets flagged)\n",
+			float64(r.falsePos)/float64(r.normSeen), r.falsePos, r.normSeen)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "samload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command samserve runs the SAM wormhole-detection service: a long-running
+// HTTP/JSON API that stores trained normal-condition profiles, scores route
+// sets against them (singly or in batches over a bounded worker pool with
+// 429 backpressure), and exposes Prometheus-style metrics. It shuts down
+// gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	samserve [-addr :8080] [-workers N] [-queue N] [-shards N]
+//	         [-profile name=file.json]...
+//
+// -profile preloads a samtrain-produced profile JSON under the given name
+// (repeatable), so the server can score immediately without online training.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"samnet/internal/sam"
+	"samnet/internal/service"
+)
+
+// profileFlags collects repeated -profile name=path pairs.
+type profileFlags []struct{ name, path string }
+
+func (p *profileFlags) String() string { return fmt.Sprintf("%d profiles", len(*p)) }
+
+func (p *profileFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return errors.New("want name=file.json")
+	}
+	*p = append(*p, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		queue    = flag.Int("queue", 0, "worker queue depth (0 = default)")
+		shards   = flag.Int("shards", 0, "profile store shards (0 = default)")
+		maxBody  = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+		profiles profileFlags
+	)
+	flag.Var(&profiles, "profile", "preload a trained profile as name=file.json (repeatable)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Shards:       *shards,
+		MaxBodyBytes: *maxBody,
+	})
+	for _, p := range profiles {
+		blob, err := os.ReadFile(p.path)
+		if err != nil {
+			fatal(err)
+		}
+		var prof sam.Profile
+		if err := json.Unmarshal(blob, &prof); err != nil {
+			fatal(fmt.Errorf("%s: %w", p.path, err))
+		}
+		if err := svc.LoadProfile(p.name, &prof); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "samserve: loaded profile %q from %s\n", p.name, p.path)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "samserve: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "samserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "samserve: shutdown:", err)
+	}
+	svc.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "samserve:", err)
+	os.Exit(1)
+}

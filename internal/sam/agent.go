@@ -12,9 +12,12 @@ import (
 // and feature-extraction module feeding a local detection module, with a
 // response module delivering alerts. Each node that acts as a destination
 // runs one. Agents are independent; cooperation happens through a
-// Coordinator.
+// Coordinator. An Agent is safe for concurrent use: discoveries arriving
+// from parallel workers are serialized through its mutex, which also
+// protects the pipeline's stateful adaptive-profile update.
 type Agent struct {
 	Node     topology.NodeID
+	mu       sync.Mutex
 	pipeline *Pipeline
 	history  []Outcome
 }
@@ -28,16 +31,25 @@ func NewAgent(id topology.NodeID, p *Pipeline) *Agent {
 // destination of one route discovery, runs the three-step procedure, and
 // records the outcome.
 func (a *Agent) OnRouteDiscovery(routes []routing.Route) Outcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := a.pipeline.Process(routes)
 	a.history = append(a.history, out)
 	return out
 }
 
-// History returns every outcome the agent has produced, oldest first.
-func (a *Agent) History() []Outcome { return a.history }
+// History returns a copy of every outcome the agent has produced, oldest
+// first.
+func (a *Agent) History() []Outcome {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Outcome(nil), a.history...)
+}
 
 // Alerts returns only the confirmed attack reports in the history.
 func (a *Agent) Alerts() []AttackReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out []AttackReport
 	for _, o := range a.history {
 		if o.Report != nil && o.Report.Confirmed {

@@ -1,11 +1,33 @@
 package sam
 
 import (
+	"encoding/json"
 	"testing"
 
 	"samnet/internal/routing"
 	"samnet/internal/topology"
 )
+
+// fuzzRoutes decodes bytes into a route set: bytes are node ids and zero
+// terminates a route. A terminator with nothing pending emits an empty
+// route, so degenerate shapes (empty routes, single-node routes) are
+// reachable.
+func fuzzRoutes(data []byte) []routing.Route {
+	var routes []routing.Route
+	var cur routing.Route
+	for _, b := range data {
+		if b == 0 {
+			routes = append(routes, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, topology.NodeID(b))
+	}
+	if len(cur) > 0 {
+		routes = append(routes, cur)
+	}
+	return routes
+}
 
 // FuzzAnalyze feeds Analyze arbitrary byte-derived route sets and checks its
 // invariants never break: no panics, frequencies sum to 1, phi and p_max in
@@ -15,23 +37,17 @@ func FuzzAnalyze(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{9, 9, 9, 9})
 	f.Add([]byte{0, 0, 1, 1, 2, 2, 3})
+	// Degenerate shapes the detection service must survive: empty routes,
+	// a lone single-node route, a route walking the same link back and
+	// forth (duplicate links inside one route), a one-route set, and a set
+	// where every route is the same.
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{7, 0})
+	f.Add([]byte{1, 2, 1, 2, 1, 0})
+	f.Add([]byte{3, 4, 5})
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Decode: bytes are node ids; zero terminates a route.
-		var routes []routing.Route
-		var cur routing.Route
-		for _, b := range data {
-			if b == 0 {
-				if len(cur) > 0 {
-					routes = append(routes, cur)
-					cur = nil
-				}
-				continue
-			}
-			cur = append(cur, topology.NodeID(b))
-		}
-		if len(cur) > 0 {
-			routes = append(routes, cur)
-		}
+		routes := fuzzRoutes(data)
 
 		s := Analyze(routes)
 		if s.N == 0 {
@@ -56,6 +72,53 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		if !found {
 			t.Fatalf("suspect %v is not a counted link", s.Suspect)
+		}
+	})
+}
+
+// FuzzTrainerDetector drives the full train-then-score path on byte-derived
+// route sets: training must never panic, a trained profile must survive a
+// JSON round trip, and every verdict must keep lambda and the adaptive
+// update within their contracts — the same invariants the detection service
+// leans on for untrusted inputs.
+func FuzzTrainerDetector(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 4, 3, 0}, []byte{1, 2, 3, 0, 1, 2, 3, 0})
+	f.Add([]byte{}, []byte{5, 6})
+	f.Add([]byte{7, 0, 0, 7, 8}, []byte{0})
+	f.Add([]byte{1, 2, 1, 2, 1, 0, 3, 4, 0}, []byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, trainData, scoreData []byte) {
+		tr := NewTrainer("fuzz", 0)
+		tr.ObserveRoutes(fuzzRoutes(trainData))
+		profile, err := tr.Profile()
+		if err != nil {
+			return // nothing informative observed; that's a valid outcome
+		}
+
+		blob, err := json.Marshal(profile)
+		if err != nil {
+			t.Fatalf("marshal trained profile: %v", err)
+		}
+		var back Profile
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("round-trip trained profile: %v", err)
+		}
+		if back.PMax.Mean != profile.PMax.Mean || back.PMF.Total != profile.PMF.Total {
+			t.Fatalf("profile changed across JSON round trip: %+v vs %+v", back, *profile)
+		}
+
+		det := NewDetector(back.Clone(), DetectorConfig{})
+		s := Analyze(fuzzRoutes(scoreData))
+		v := det.Evaluate(s)
+		if v.Lambda < 0 || v.Lambda > 1 {
+			t.Fatalf("lambda %v out of [0,1]", v.Lambda)
+		}
+		if s.N == 0 && v.Decision != Normal {
+			t.Fatalf("empty route set judged %v", v.Decision)
+		}
+		det.Update(s, v.Lambda)
+		pmaxMean, phiMean := det.AdaptiveMeans()
+		if pmaxMean < 0 || pmaxMean > 1 || phiMean < 0 || phiMean > 1 {
+			t.Fatalf("adaptive means left [0,1]: pmax %v phi %v", pmaxMean, phiMean)
 		}
 	})
 }

@@ -79,6 +79,18 @@ func (t *Trainer) Profile() (*Profile, error) {
 	}, nil
 }
 
+// Clone returns a deep copy of p, sharing no mutable state with the
+// original. A profile handed to concurrent readers (e.g. the detection
+// service's store snapshots) should be cloned once per owner so a later
+// retrain can never race an in-flight evaluation.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	if p.PMF != nil {
+		c.PMF = p.PMF.Clone()
+	}
+	return &c
+}
+
 // profileJSON is the serialized form of a Profile.
 type profileJSON struct {
 	Label     string        `json:"label"`

@@ -110,7 +110,18 @@ func localize(routes []routing.Route, s Stats) topology.Link {
 	}
 	// Every tied link appears n_max times; when n_max equals the route
 	// count they all lie on every route, so the first route orders them.
-	ref := routes[0]
+	// Degenerate sets may open with empty or single-node routes that carry
+	// no links; skip to the first route that can order anything.
+	var ref routing.Route
+	for _, r := range routes {
+		if len(r) >= 2 {
+			ref = r
+			break
+		}
+	}
+	if ref == nil {
+		return s.MaxLink
+	}
 	src, dst := ref[0], ref[len(ref)-1]
 	var ordered, filtered []topology.Link
 	for _, l := range ref.Links() {

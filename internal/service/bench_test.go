@@ -1,0 +1,126 @@
+package service
+
+// Serving-path benchmarks: the first perf baseline for the detection
+// service. They exercise the full handler stack (mux, body limit, JSON
+// decode, analysis, locked scoring, JSON encode) without real sockets, so
+// the numbers isolate service cost from kernel networking.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchHandler returns the handler of a service trained on 20 normal
+// cluster discoveries, plus a marshalled detect body for the given batch
+// size (0 = single-detect request).
+func benchHandler(b *testing.B, cfg Config, batch int) (http.Handler, []byte, string) {
+	b.Helper()
+	svc := New(cfg)
+	b.Cleanup(svc.Close)
+	mux := svc.Handler()
+
+	trainBody, err := json.Marshal(TrainRequest{RouteSets: genSets(20, false, 1000)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/profiles/bench/train", bytes.NewReader(trainBody))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("train: %d %s", rec.Code, rec.Body)
+	}
+
+	set := genSets(1, true, 5000)[0]
+	if batch == 0 {
+		body, err := json.Marshal(DetectRequest{Profile: "bench", Routes: set})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mux, body, "/v1/detect"
+	}
+	items := make([][][]int, batch)
+	for i := range items {
+		items[i] = set
+	}
+	body, err := json.Marshal(BatchDetectRequest{Profile: "bench", Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mux, body, "/v1/detect/batch"
+}
+
+// BenchmarkServiceDetect measures one /v1/detect request through the full
+// handler stack.
+func BenchmarkServiceDetect(b *testing.B) {
+	mux, body, path := benchHandler(b, Config{}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServiceDetectParallel measures contended single-detect scoring:
+// every request serializes on the same profile's mutex, the shape a hot
+// production profile sees.
+func BenchmarkServiceDetectParallel(b *testing.B) {
+	mux, body, path := benchHandler(b, Config{}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServiceDetectBatch measures a 16-item /v1/detect/batch request:
+// per-op cost includes fan-out over the worker pool and the barrier wait.
+func BenchmarkServiceDetectBatch(b *testing.B) {
+	mux, body, path := benchHandler(b, Config{QueueDepth: 1 << 16}, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.ReportMetric(float64(16*b.N)/b.Elapsed().Seconds(), "sets/s")
+}
+
+// BenchmarkServiceAnalyze measures the stateless analyze endpoint.
+func BenchmarkServiceAnalyze(b *testing.B) {
+	svc := New(Config{})
+	b.Cleanup(svc.Close)
+	mux := svc.Handler()
+	body, err := json.Marshal(AnalyzeRequest{Routes: genSets(1, true, 5000)[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"samnet/internal/routing"
+	"samnet/internal/sam"
+	"samnet/internal/topology"
+)
+
+// Wire types. Routes travel as arrays of node ids ([[0,1,2],[0,3,2]]), the
+// same shape routing.Route has in memory, so clients need no bespoke
+// encoding.
+
+// LinkJSON is an undirected link on the wire.
+type LinkJSON struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+func linkJSON(l topology.Link) LinkJSON { return LinkJSON{A: int(l.A), B: int(l.B)} }
+
+// LinkCountJSON is one distinct link with its occurrence statistics.
+type LinkCountJSON struct {
+	Link  LinkJSON `json:"link"`
+	Count int      `json:"count"`
+	P     float64  `json:"p"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Routes [][]int `json:"routes"`
+	// TopK bounds how many of the most frequent links the response lists
+	// (default 5, 0 keeps the default, negative lists none).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// AnalyzeResponse reports SAM's statistics of one route set.
+type AnalyzeResponse struct {
+	Routes   int             `json:"routes"`
+	N        int             `json:"n"`
+	Distinct int             `json:"distinct_links"`
+	PMax     float64         `json:"p_max"`
+	Phi      float64         `json:"phi"`
+	MaxLink  LinkJSON        `json:"max_link"`
+	Suspect  LinkJSON        `json:"suspect_link"`
+	Top      []LinkCountJSON `json:"top_links,omitempty"`
+}
+
+// DetectRequest is the body of POST /v1/detect: one route set scored
+// against a named profile.
+type DetectRequest struct {
+	Profile string  `json:"profile"`
+	Routes  [][]int `json:"routes"`
+	// Update controls the adaptive low-pass profile update (default true,
+	// the paper's behaviour).
+	Update *bool `json:"update,omitempty"`
+}
+
+// VerdictJSON is one detector verdict on the wire.
+type VerdictJSON struct {
+	Decision    string   `json:"decision"`
+	Lambda      float64  `json:"lambda"`
+	ZPMax       float64  `json:"z_pmax"`
+	ZPhi        float64  `json:"z_phi"`
+	TV          float64  `json:"tv"`
+	PMax        float64  `json:"p_max"`
+	Phi         float64  `json:"phi"`
+	Routes      int      `json:"routes"`
+	N           int      `json:"n"`
+	SuspectLink LinkJSON `json:"suspect_link"`
+	Suspects    [2]int   `json:"suspects"`
+}
+
+func verdictJSON(v sam.Verdict) VerdictJSON {
+	return VerdictJSON{
+		Decision:    v.Decision.String(),
+		Lambda:      v.Lambda,
+		ZPMax:       v.ZPMax,
+		ZPhi:        v.ZPhi,
+		TV:          v.TV,
+		PMax:        v.Stats.PMax,
+		Phi:         v.Stats.Phi,
+		Routes:      v.Stats.Routes,
+		N:           v.Stats.N,
+		SuspectLink: linkJSON(v.SuspectLink),
+		Suspects:    [2]int{int(v.Suspects[0]), int(v.Suspects[1])},
+	}
+}
+
+// DetectResponse is the body answering /v1/detect.
+type DetectResponse struct {
+	Profile string      `json:"profile"`
+	Verdict VerdictJSON `json:"verdict"`
+}
+
+// BatchDetectRequest is the body of POST /v1/detect/batch: many route sets
+// scored against one named profile on the worker pool.
+type BatchDetectRequest struct {
+	Profile string    `json:"profile"`
+	Items   [][][]int `json:"items"`
+	Update  *bool     `json:"update,omitempty"`
+}
+
+// BatchDetectResponse answers /v1/detect/batch, verdicts in item order.
+type BatchDetectResponse struct {
+	Profile  string        `json:"profile"`
+	Verdicts []VerdictJSON `json:"verdicts"`
+}
+
+// TrainRequest is the body of POST /v1/profiles/{name}/train: one or more
+// normal-condition route sets to fold into the profile's trainer.
+type TrainRequest struct {
+	RouteSets [][][]int `json:"route_sets"`
+}
+
+// TrainResponse reports the training state after the request.
+type TrainResponse struct {
+	Profile string `json:"profile"`
+	Runs    int    `json:"runs"`
+	Trained bool   `json:"trained"`
+}
+
+// ProfileInfo describes one stored profile in GET /v1/profiles.
+type ProfileInfo struct {
+	Name    string `json:"name"`
+	Runs    int    `json:"runs"`
+	Trained bool   `json:"trained"`
+}
+
+// ProfileResponse answers GET /v1/profiles/{name}: the portable profile
+// JSON plus the current adaptive means.
+type ProfileResponse struct {
+	Name     string       `json:"name"`
+	Runs     int          `json:"runs"`
+	PMaxMean float64      `json:"adaptive_pmax_mean"`
+	PhiMean  float64      `json:"adaptive_phi_mean"`
+	Profile  *sam.Profile `json:"profile"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Decoding limits. They bound worst-case memory per request; a request
+// exceeding any of them is rejected with 400/413, never partially applied.
+const (
+	maxRoutesPerSet = 4096
+	maxRouteHops    = 1024
+	maxNodeID       = 1 << 30
+)
+
+var errBodyTooLarge = errors.New("request body exceeds the size limit")
+
+// decodeJSON strictly decodes one JSON value from the (size-limited) body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return errBodyTooLarge
+		}
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	// Reject trailing garbage so "{}{}" cannot sneak half-parsed state in.
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("invalid JSON body: trailing data after the request object")
+	}
+	return nil
+}
+
+// decodeRoutes validates and converts one wire route set.
+func decodeRoutes(raw [][]int) ([]routing.Route, error) {
+	if len(raw) > maxRoutesPerSet {
+		return nil, fmt.Errorf("route set has %d routes, limit %d", len(raw), maxRoutesPerSet)
+	}
+	routes := make([]routing.Route, 0, len(raw))
+	for i, r := range raw {
+		if len(r) > maxRouteHops+1 {
+			return nil, fmt.Errorf("route %d has %d nodes, limit %d", i, len(r), maxRouteHops+1)
+		}
+		route := make(routing.Route, len(r))
+		for j, id := range r {
+			if id < 0 || id > maxNodeID {
+				return nil, fmt.Errorf("route %d node %d: id %d out of range [0,%d]", i, j, id, maxNodeID)
+			}
+			route[j] = topology.NodeID(id)
+		}
+		routes = append(routes, route)
+	}
+	return routes, nil
+}
+
+// decodeRouteSets validates and converts many wire route sets, capping the
+// total route count across sets at maxRoutesPerSet*4 so a training request
+// cannot smuggle unbounded work past the per-set limit.
+func decodeRouteSets(raw [][][]int) ([][]routing.Route, error) {
+	total := 0
+	sets := make([][]routing.Route, 0, len(raw))
+	for i, rs := range raw {
+		total += len(rs)
+		if total > maxRoutesPerSet*4 {
+			return nil, fmt.Errorf("request carries more than %d routes in total", maxRoutesPerSet*4)
+		}
+		set, err := decodeRoutes(rs)
+		if err != nil {
+			return nil, fmt.Errorf("route set %d: %w", i, err)
+		}
+		sets = append(sets, set)
+	}
+	return sets, nil
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// fuzzService is shared by the fuzz targets: one instance with a trained
+// profile, so the detect path past decoding is reachable too.
+func fuzzService(f *testing.F) http.Handler {
+	svc := New(Config{Workers: 2, QueueDepth: 64})
+	f.Cleanup(svc.Close)
+	mux := svc.Handler()
+	// Train over the API so "p" is a live profile for detect fuzzing.
+	body := `{"route_sets":[[[0,1,2],[0,3,2],[0,4,2]],[[0,1,2],[0,3,2]],[[0,1,5,2],[0,3,2]]]}`
+	req := httptest.NewRequest("POST", "/v1/profiles/p/train", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		f.Fatalf("seed training failed: %d %s", rec.Code, rec.Body)
+	}
+	return mux
+}
+
+// allowedStatus is the contract every fuzzed request must satisfy: a
+// well-defined client or server refusal, never a panic or a hung handler.
+func allowedStatus(code int) bool {
+	switch code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+		http.StatusConflict, http.StatusRequestEntityTooLarge,
+		http.StatusTooManyRequests, http.StatusMethodNotAllowed,
+		// ServeMux path cleaning answers dirty paths ("//", "..") with a
+		// redirect before any handler runs.
+		http.StatusMovedPermanently, http.StatusPermanentRedirect:
+		return true
+	}
+	return false
+}
+
+// FuzzDetectDecoding throws arbitrary bytes at the detect and batch-detect
+// request decoders: malformed bodies must map to clean 4xx answers, and
+// bodies that do decode must score without panicking.
+func FuzzDetectDecoding(f *testing.F) {
+	mux := fuzzService(f)
+	f.Add(`{"profile":"p","routes":[[0,1,2],[0,3,2]]}`)
+	f.Add(`{"profile":"p","routes":[]}`)
+	f.Add(`{"profile":"missing","routes":[[1,2]]}`)
+	f.Add(`{"profile":"p","routes":[[0,1,2]],"update":false}`)
+	f.Add(`{"profile":"p","items":[[[0,1,2]],[[0,3,2]]]}`)
+	f.Add(`{"routes":[[-1,2]]}`)
+	f.Add(`{"routes":[[0,1`)
+	f.Add(`null`)
+	f.Add(`{"profile":"p","routes":[[0,1]]}{"x":1}`)
+	f.Add(`{"profile":"p","routes":[[9999999999999999999]]}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, path := range []string{"/v1/detect", "/v1/detect/batch"} {
+			req := httptest.NewRequest("POST", path, strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, req)
+			if !allowedStatus(rec.Code) {
+				t.Fatalf("%s: status %d on body %q", path, rec.Code, body)
+			}
+		}
+	})
+}
+
+// FuzzAnalyzeAndTrainDecoding does the same for the stateless analyze
+// endpoint and the train endpoint (including fuzzed profile names in the
+// path).
+func FuzzAnalyzeAndTrainDecoding(f *testing.F) {
+	mux := fuzzService(f)
+	f.Add("q", `{"routes":[[0,1,2],[0,3,2]]}`)
+	f.Add("q", `{"route_sets":[[[0,1,2]]]}`)
+	f.Add("a b", `{"route_sets":[[[1]],[[2,2]],[[]]]}`)
+	f.Add("%2e%2e", `{"route_sets":[[[0,1],[1,0],[0,1]]]}`)
+	f.Add("", `{}`)
+	f.Fuzz(func(t *testing.T, name, body string) {
+		req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if !allowedStatus(rec.Code) {
+			t.Fatalf("analyze: status %d on body %q", rec.Code, body)
+		}
+
+		// Fuzzed profile names travel path-escaped, as a real client would
+		// send them: either a clean answer or a router-level 404, never a
+		// panic.
+		target := "/v1/profiles/" + url.PathEscape(name) + "/train"
+		req = httptest.NewRequest("POST", target, strings.NewReader(body))
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if !allowedStatus(rec.Code) {
+			t.Fatalf("train %q: status %d on body %q", target, rec.Code, body)
+		}
+	})
+}

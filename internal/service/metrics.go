@@ -1,0 +1,160 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds, chosen
+// around the sub-millisecond cost of scoring one route set with headroom for
+// queueing under load.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, cheap
+// enough to sit on the request hot path.
+type histogram struct {
+	counts []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumNs  atomic.Int64
+	count  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// endpointMetrics tracks one endpoint: request counts by status class and a
+// latency histogram.
+type endpointMetrics struct {
+	name    string
+	byClass [6]atomic.Uint64 // index status/100; 0 collects anything odd
+	latency *histogram
+}
+
+func (m *endpointMetrics) record(status int, d time.Duration) {
+	class := status / 100
+	if class < 0 || class > 5 {
+		class = 0
+	}
+	m.byClass[class].Add(1)
+	m.latency.observe(d)
+}
+
+// metrics is the service-wide registry. Endpoints are registered up front,
+// so the hot path is lock-free; the mutex only guards registration.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	start     time.Time
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics), start: time.Now()}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[name]
+	if em == nil {
+		em = &endpointMetrics{name: name, latency: newHistogram()}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// write renders the registry in Prometheus text exposition format. depth and
+// profiles report the current worker-pool occupancy and profile count.
+func (m *metrics) write(w io.Writer, depth int64, profiles int) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP samserve_uptime_seconds Seconds since the service started.\n")
+	fmt.Fprintf(w, "# TYPE samserve_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "samserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "# HELP samserve_queue_depth Tasks admitted to the worker pool (queued or running).\n")
+	fmt.Fprintf(w, "# TYPE samserve_queue_depth gauge\n")
+	fmt.Fprintf(w, "samserve_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "# HELP samserve_profiles Profiles resident in the store.\n")
+	fmt.Fprintf(w, "# TYPE samserve_profiles gauge\n")
+	fmt.Fprintf(w, "samserve_profiles %d\n", profiles)
+
+	fmt.Fprintf(w, "# HELP samserve_requests_total Requests served, by endpoint and status class.\n")
+	fmt.Fprintf(w, "# TYPE samserve_requests_total counter\n")
+	for _, name := range names {
+		em := m.endpoints[name]
+		for class := 1; class <= 5; class++ {
+			if n := em.byClass[class].Load(); n > 0 {
+				fmt.Fprintf(w, "samserve_requests_total{endpoint=%q,class=\"%dxx\"} %d\n", name, class, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP samserve_request_duration_seconds Request latency.\n")
+	fmt.Fprintf(w, "# TYPE samserve_request_duration_seconds histogram\n")
+	for _, name := range names {
+		h := m.endpoints[name].latency
+		var cum uint64
+		for i, bound := range latencyBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "samserve_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
+		}
+		cum += h.counts[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "samserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "samserve_request_duration_seconds_sum{endpoint=%q} %.6f\n", name, time.Duration(h.sumNs.Load()).Seconds())
+		fmt.Fprintf(w, "samserve_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+}
+
+// statusWriter captures the status code a handler writes, for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with request counting and latency observation
+// under the given endpoint name.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := m.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		h(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		em.record(sw.status, time.Since(begin))
+	}
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a bounded worker pool with queue-depth backpressure: a fixed set
+// of workers drains a task channel whose occupancy (queued + running) is
+// capped. Batch detection admits a request only when the whole batch fits,
+// so admission is all-or-nothing and an overloaded server answers 429
+// immediately instead of queueing unboundedly.
+type pool struct {
+	tasks   chan func()
+	cap     int64
+	pending atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// newPool starts workers goroutines over a queue admitting at most queueCap
+// tasks (queued or running) at once.
+func newPool(workers, queueCap int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < workers {
+		queueCap = workers
+	}
+	p := &pool{tasks: make(chan func(), queueCap), cap: int64(queueCap)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+				p.pending.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// tryRun admits all of fns or none. On admission it runs them on the pool,
+// waits for completion, and returns true; when the batch does not fit under
+// the queue cap it returns false without running anything.
+//
+// Admission reserves len(fns) slots up front, so the channel sends below can
+// never block: tasks still in the channel never exceed the reserved total,
+// which is kept at or below the channel capacity.
+func (p *pool) tryRun(fns []func()) bool {
+	n := int64(len(fns))
+	if n == 0 {
+		return true
+	}
+	if p.pending.Add(n) > p.cap {
+		p.pending.Add(-n)
+		return false
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		fn := fn
+		p.tasks <- func() {
+			defer wg.Done()
+			fn()
+		}
+	}
+	wg.Wait()
+	return true
+}
+
+// depth returns the current number of admitted (queued or running) tasks.
+func (p *pool) depth() int64 { return p.pending.Load() }
+
+// close stops the workers after the queue drains. The caller must guarantee
+// no tryRun is in flight (the HTTP server's graceful Shutdown provides
+// exactly that).
+func (p *pool) close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,0 +1,350 @@
+// Package service is the SAM detection service: the paper's local-detection
+// module turned into a long-running HTTP/JSON scoring layer. It holds named
+// normal-condition profiles in a sharded store, scores incoming route sets
+// against them (one at a time or in batches over a bounded worker pool with
+// queue-depth backpressure), keeps each profile adaptive via the paper's
+// low-pass update, and exposes Prometheus-style metrics.
+//
+// Endpoints:
+//
+//	POST /v1/analyze               SAM statistics of a route set (stateless)
+//	POST /v1/detect                score one route set against a profile
+//	POST /v1/detect/batch          score many route sets on the worker pool
+//	POST /v1/profiles/{name}/train feed normal route sets into the trainer
+//	GET  /v1/profiles              list stored profiles
+//	GET  /v1/profiles/{name}       export a profile snapshot
+//	GET  /metrics                  Prometheus text metrics
+//	GET  /healthz                  liveness probe
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"samnet/internal/sam"
+)
+
+// Config tunes the service. The zero value selects sensible defaults.
+type Config struct {
+	// Shards is the profile-store shard count (default 16).
+	Shards int
+	// Workers bounds batch-detection parallelism (default NumCPU).
+	Workers int
+	// QueueDepth caps tasks admitted to the worker pool, queued or running;
+	// a batch that does not fit is answered 429 (default 4*Workers, min 64).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchItems caps items per /v1/detect/batch request (default 256).
+	MaxBatchItems int
+	// Detector configures detectors built for trained profiles; zero fields
+	// take the sam defaults.
+	Detector sam.DetectorConfig
+	// PMFBins is the trainer binning (0 selects sam.DefaultPMFBins).
+	PMFBins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+		if c.QueueDepth < 64 {
+			c.QueueDepth = 64
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	return c
+}
+
+// Service is a SAM detection service instance. It is safe for concurrent
+// use; create one with New and serve Handler.
+type Service struct {
+	cfg     Config
+	store   *store
+	pool    *pool
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		store:   newStore(cfg.Shards, cfg.Detector, cfg.PMFBins),
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/detect", s.wrap("detect", s.handleDetect))
+	mux.HandleFunc("POST /v1/detect/batch", s.wrap("detect_batch", s.handleDetectBatch))
+	mux.HandleFunc("POST /v1/profiles/{name}/train", s.wrap("train", s.handleTrain))
+	mux.HandleFunc("GET /v1/profiles", s.wrap("profiles", s.handleListProfiles))
+	mux.HandleFunc("GET /v1/profiles/{name}", s.wrap("profile_get", s.handleGetProfile))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool. Call it only after the HTTP server has fully
+// shut down (no handler in flight).
+func (s *Service) Close() { s.pool.close() }
+
+// LoadProfile installs an externally trained profile (e.g. samtrain output)
+// under the given name, cloning it so the caller keeps its copy.
+func (s *Service) LoadProfile(name string, p *sam.Profile) error {
+	if name == "" {
+		return errors.New("service: profile name must not be empty")
+	}
+	if p == nil || p.PMF == nil {
+		return errors.New("service: nil or PMF-less profile")
+	}
+	s.store.getOrCreate(name).load(p)
+	return nil
+}
+
+// wrap applies body limiting and metrics instrumentation to a handler.
+func (s *Service) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.metrics.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStatus maps a decoding error to its HTTP status.
+func decodeStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	routes, err := decodeRoutes(req.Routes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := sam.Analyze(routes)
+	topK := req.TopK
+	if topK == 0 {
+		topK = 5
+	}
+	resp := AnalyzeResponse{
+		Routes:   st.Routes,
+		N:        st.N,
+		Distinct: len(st.ByLink),
+		PMax:     st.PMax,
+		Phi:      st.Phi,
+		MaxLink:  linkJSON(st.MaxLink),
+		Suspect:  linkJSON(st.Suspect),
+	}
+	if topK > 0 {
+		for _, lc := range st.TopLinks(topK) {
+			resp.Top = append(resp.Top, LinkCountJSON{Link: linkJSON(lc.Link), Count: lc.Count, P: lc.P})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scoreOrError maps store/entry errors onto HTTP statuses shared by the
+// detect endpoints: 404 unknown profile, 409 not yet trained.
+func scoreStatus(err error) int {
+	switch {
+	case errors.Is(err, errUnknownProfile):
+		return http.StatusNotFound
+	case errors.Is(err, errUntrained):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if req.Profile == "" {
+		writeError(w, http.StatusBadRequest, "missing profile name")
+		return
+	}
+	routes, err := decodeRoutes(req.Routes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.store.get(req.Profile)
+	if err != nil {
+		writeError(w, scoreStatus(err), "%v", err)
+		return
+	}
+	update := req.Update == nil || *req.Update
+	v, err := e.score(sam.Analyze(routes), update)
+	if err != nil {
+		writeError(w, scoreStatus(err), "profile %q: %v", req.Profile, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DetectResponse{Profile: req.Profile, Verdict: verdictJSON(v)})
+}
+
+func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchDetectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if req.Profile == "" {
+		writeError(w, http.StatusBadRequest, "missing profile name")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch has %d items, limit %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+	sets, err := decodeRouteSets(req.Items)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := s.store.get(req.Profile)
+	if err != nil {
+		writeError(w, scoreStatus(err), "%v", err)
+		return
+	}
+	update := req.Update == nil || *req.Update
+
+	verdicts := make([]VerdictJSON, len(sets))
+	errs := make([]error, len(sets))
+	tasks := make([]func(), len(sets))
+	for i := range sets {
+		i, set := i, sets[i]
+		tasks[i] = func() {
+			// Analysis is pure and runs fully parallel; only the stateful
+			// evaluate+update pair serializes on the profile's mutex.
+			v, err := e.score(sam.Analyze(set), update)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			verdicts[i] = verdictJSON(v)
+		}
+	}
+	if !s.pool.tryRun(tasks) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"worker pool saturated (%d items would exceed queue depth %d)", len(sets), s.cfg.QueueDepth)
+		return
+	}
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, scoreStatus(err), "profile %q: %v", req.Profile, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchDetectResponse{Profile: req.Profile, Verdicts: verdicts})
+}
+
+func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing profile name")
+		return
+	}
+	var req TrainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if len(req.RouteSets) == 0 {
+		writeError(w, http.StatusBadRequest, "route_sets must not be empty")
+		return
+	}
+	sets, err := decodeRouteSets(req.RouteSets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e := s.store.getOrCreate(name)
+	runs, err := e.train(sets)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})
+}
+
+func (s *Service) handleListProfiles(w http.ResponseWriter, r *http.Request) {
+	names := s.store.names()
+	infos := make([]ProfileInfo, 0, len(names))
+	for _, name := range names {
+		e, err := s.store.get(name)
+		if err != nil {
+			continue // deleted concurrently; nothing to report
+		}
+		_, _, _, runs, snapErr := e.snapshot()
+		infos = append(infos, ProfileInfo{Name: name, Runs: runs, Trained: snapErr == nil})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Service) handleGetProfile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, err := s.store.get(name)
+	if err != nil {
+		writeError(w, scoreStatus(err), "%v", err)
+		return
+	}
+	p, pmaxMean, phiMean, runs, err := e.snapshot()
+	if err != nil {
+		writeError(w, scoreStatus(err), "profile %q: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProfileResponse{
+		Name: name, Runs: runs, PMaxMean: pmaxMean, PhiMean: phiMean, Profile: p,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.pool.depth(), len(s.store.names()))
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

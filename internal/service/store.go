@@ -1,0 +1,167 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"samnet/internal/routing"
+	"samnet/internal/sam"
+)
+
+// Errors the store maps to HTTP statuses.
+var (
+	// errUnknownProfile: the named profile does not exist (404).
+	errUnknownProfile = errors.New("unknown profile")
+	// errUntrained: the profile exists but has no training runs yet (409).
+	errUntrained = errors.New("profile has no training runs yet")
+)
+
+// entry is one named profile: its trainer, and the detector rebuilt from the
+// trainer after every training call. The mutex serializes training and
+// scoring, because the detector's adaptive means (the paper's low-pass
+// update, equations 8 and 9) mutate on every scored route set.
+type entry struct {
+	mu       sync.Mutex
+	name     string
+	trainer  *sam.Trainer
+	detector *sam.Detector
+	cfg      sam.DetectorConfig
+}
+
+// train folds normal-condition route sets into the trainer and rebuilds the
+// detector over the refreshed profile. It returns the total training runs.
+func (e *entry) train(sets [][]routing.Route) (runs int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, set := range sets {
+		e.trainer.ObserveRoutes(set)
+	}
+	p, err := e.trainer.Profile()
+	if err != nil {
+		// Nothing observed yet (e.g. every submitted set was empty): the
+		// entry stays untrained rather than failing the request outright.
+		return e.trainer.Runs(), nil
+	}
+	e.detector = sam.NewDetector(p, e.cfg)
+	return e.trainer.Runs(), nil
+}
+
+// score evaluates already-analyzed statistics against the detector and,
+// when update is set, applies the adaptive profile update with the verdict's
+// soft decision lambda. Analysis itself is pure and happens outside the
+// lock, so the critical section is only the stateful evaluate+update pair.
+func (e *entry) score(s sam.Stats, update bool) (sam.Verdict, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.detector == nil {
+		return sam.Verdict{}, errUntrained
+	}
+	v := e.detector.Evaluate(s)
+	if update {
+		e.detector.Update(s, v.Lambda)
+	}
+	return v, nil
+}
+
+// snapshot returns a race-free deep copy of the trained profile plus the
+// current adaptive feature means.
+func (e *entry) snapshot() (p *sam.Profile, pmaxMean, phiMean float64, runs int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.detector == nil {
+		return nil, 0, 0, e.trainer.Runs(), errUntrained
+	}
+	pmaxMean, phiMean = e.detector.AdaptiveMeans()
+	return e.detector.Profile().Clone(), pmaxMean, phiMean, e.trainer.Runs(), nil
+}
+
+// load installs an externally trained profile (e.g. a samtrain JSON file),
+// replacing any detector the entry had. The profile is cloned so the caller
+// keeps ownership of its copy.
+func (e *entry) load(p *sam.Profile) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.detector = sam.NewDetector(p.Clone(), e.cfg)
+}
+
+// store is the sharded profile registry. Profile names hash onto shards so
+// concurrent requests for different profiles rarely contend on the same
+// lock; the per-entry mutex then scopes contention to one profile.
+type store struct {
+	shards []storeShard
+	cfg    sam.DetectorConfig
+	bins   int
+}
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// newStore builds a store with the given shard count (minimum 1), detector
+// configuration, and PMF binning for new trainers.
+func newStore(shards int, cfg sam.DetectorConfig, bins int) *store {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &store{shards: make([]storeShard, shards), cfg: cfg, bins: bins}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]*entry)
+	}
+	return s
+}
+
+func (s *store) shard(name string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// get returns the named entry or errUnknownProfile.
+func (s *store) get(name string) (*entry, error) {
+	sh := s.shard(name)
+	sh.mu.RLock()
+	e := sh.entries[name]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", errUnknownProfile, name)
+	}
+	return e, nil
+}
+
+// getOrCreate returns the named entry, creating an empty trainer on first
+// use.
+func (s *store) getOrCreate(name string) *entry {
+	sh := s.shard(name)
+	sh.mu.RLock()
+	e := sh.entries[name]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e = sh.entries[name]; e == nil {
+		e = &entry{name: name, trainer: sam.NewTrainer(name, s.bins), cfg: s.cfg}
+		sh.entries[name] = e
+	}
+	return e
+}
+
+// names returns every profile name, sorted.
+func (s *store) names() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.entries {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
