@@ -100,6 +100,43 @@ func BenchmarkAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyzeLarge measures Analyze on a route set an order of
+// magnitude larger than one discovery's — the service's worst-case request
+// shape — by pooling the routes of many discoveries.
+func BenchmarkAnalyzeLarge(b *testing.B) {
+	var d routing.Discovery
+	for seed := uint64(1); seed <= 12; seed++ {
+		d.Routes = append(d.Routes, discoverOnce(seed, &mr.Protocol{}, 1).Routes...)
+	}
+	if len(d.Routes) < 50 {
+		b.Fatalf("want a large route set, got %d routes", len(d.Routes))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sam.Analyze(d.Routes)
+		if s.N == 0 {
+			b.Fatal("no links")
+		}
+	}
+}
+
+// BenchmarkAnalyzeParallel measures Analyze under concurrent callers — the
+// batch-detection shape, where every worker shares the scratch pool.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	d := discoverOnce(7, &mr.Protocol{}, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := sam.Analyze(d.Routes)
+			if s.N == 0 {
+				b.Fatal("no links")
+			}
+		}
+	})
+}
+
 // --- Ablation benchmarks (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationSMRRule compares the paper's MR duplicate rule against

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	samrepro [-exp all|tables|figures|extensions|<id>]
-//	         [-runs N] [-seed S] [-workers W] [-csv] [-o dir]
+//	         [-runs N] [-seed S] [-parallel P] [-csv] [-o dir]
+//
+// Runs fan out over a worker pool (-parallel, default all cores); output is
+// bitwise-identical for every parallelism level, including -parallel 1,
+// because each run's randomness derives from its grid coordinates and
+// results merge in grid order (see internal/runner).
 //
 // Experiment ids: table1, table2, fig5..fig15, detection, leash, protocols,
 // rushing, loss, mobility, blackhole, adaptive, roc (see -list).
@@ -27,7 +32,8 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id, or 'all'")
 		runs    = flag.Int("runs", 10, "simulation runs per condition")
 		seed    = flag.Uint64("seed", 2005, "master seed")
-		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
+		workers  = flag.Int("workers", 0, "deprecated alias of -parallel")
 		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.md (or .csv)")
@@ -41,7 +47,11 @@ func main() {
 		return
 	}
 
-	cfg := experiment.Config{Runs: *runs, Seed: *seed, Workers: *workers}
+	pool := *parallel
+	if pool == 0 {
+		pool = *workers
+	}
+	cfg := experiment.Config{Runs: *runs, Seed: *seed, Workers: pool}
 	var defs []experiment.Definition
 	switch *exp {
 	case "all":

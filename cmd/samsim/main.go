@@ -7,6 +7,13 @@
 //	samsim [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
 //	       [-wormholes 0|1|2] [-behavior forward|blackhole|greyhole]
 //	       [-protocol mr|smr|dsr] [-seed S] [-profile file.json] [-v]
+//	       [-runs N] [-parallel P]
+//
+// With -runs N > 1, samsim runs N independent discoveries of the same
+// condition on a worker pool (-parallel, default all cores) and prints one
+// summary line per run plus aggregates. Each run's seed derives from the run
+// index (see internal/runner), so output is bitwise-identical for any
+// -parallel level, including 1.
 package main
 
 import (
@@ -18,8 +25,10 @@ import (
 
 	"samnet/internal/attack"
 	"samnet/internal/cli"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
+	"samnet/internal/topology"
 	"samnet/internal/viz"
 )
 
@@ -30,17 +39,15 @@ func main() {
 		wormholes = flag.Int("wormholes", 1, "active wormhole pairs (0-2)")
 		behavior  = flag.String("behavior", "forward", "attacker payload behaviour: forward, blackhole, greyhole")
 		protoName = flag.String("protocol", "mr", "routing protocol: mr, smr, dsr, aomdv, mdsr")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
+		seed      = flag.Uint64("seed", 1, "simulation seed (master seed with -runs > 1)")
 		profile   = flag.String("profile", "", "trained profile JSON (from samtrain) to evaluate a verdict")
-		verbose   = flag.Bool("v", false, "print every route")
-		showMap   = flag.Bool("map", false, "render an ASCII map with the first route overlaid")
+		verbose   = flag.Bool("v", false, "print every route (single-run mode)")
+		showMap   = flag.Bool("map", false, "render an ASCII map with the first route overlaid (single-run mode)")
+		runsN     = flag.Int("runs", 1, "independent discoveries of this condition")
+		parallel  = flag.Int("parallel", 0, "worker pool size with -runs > 1 (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	net, err := cli.BuildTopology(*topoName, *tier, *seed)
-	if err != nil {
-		fatal(err)
-	}
 	var beh attack.PayloadBehavior
 	switch *behavior {
 	case "forward":
@@ -51,6 +58,20 @@ func main() {
 		beh = attack.Greyhole
 	default:
 		fatal(fmt.Errorf("unknown behavior %q", *behavior))
+	}
+
+	if *runsN > 1 {
+		runBatch(batchConfig{
+			topo: *topoName, tier: *tier, wormholes: *wormholes, behavior: beh,
+			protocol: *protoName, seed: *seed, profile: *profile,
+			runs: *runsN, parallel: *parallel,
+		})
+		return
+	}
+
+	net, err := cli.BuildTopology(*topoName, *tier, *seed)
+	if err != nil {
+		fatal(err)
 	}
 
 	var sc *attack.Scenario
@@ -122,6 +143,137 @@ func main() {
 			fmt.Printf("accused pair: nodes %d and %d\n", v.Suspects[0], v.Suspects[1])
 		}
 	}
+}
+
+// batchConfig is one samsim condition fanned over -runs independent
+// discoveries.
+type batchConfig struct {
+	topo      string
+	tier      int
+	wormholes int
+	behavior  attack.PayloadBehavior
+	protocol  string
+	seed      uint64
+	profile   string
+	runs      int
+	parallel  int
+}
+
+// batchOut is the result of one run of the batch grid. Fields are written by
+// exactly one worker (the run's own) and read only after the pool drains.
+type batchOut struct {
+	err      error
+	src, dst topology.NodeID
+	routes   int
+	overhead int64
+	stats    sam.Stats
+	affected float64 // fraction of routes crossing a tunnel
+	verdict  *sam.Verdict
+}
+
+// runBatch executes cfg.runs independent discoveries of the same condition
+// on the runner pool and prints one line per run, in run order, plus
+// aggregates. Randomness per run derives from (master seed, condition label,
+// run index) — never from worker identity — so the report is identical for
+// every -parallel level.
+func runBatch(cfg batchConfig) {
+	proto, err := cli.BuildProtocol(cfg.protocol)
+	if err != nil {
+		fatal(err)
+	}
+	var det *sam.Detector
+	if cfg.profile != "" {
+		blob, err := os.ReadFile(cfg.profile)
+		if err != nil {
+			fatal(err)
+		}
+		var p sam.Profile
+		if err := json.Unmarshal(blob, &p); err != nil {
+			fatal(err)
+		}
+		det = sam.NewDetector(&p, sam.DetectorConfig{})
+	}
+	label := fmt.Sprintf("samsim/%s-%dtier/%s/w%d", cfg.topo, cfg.tier, proto.Name(), cfg.wormholes)
+
+	outs := runner.Map(cfg.parallel, cfg.runs, func(run int) batchOut {
+		seedR := runner.DeriveSeed(cfg.seed, label, run)
+		net, err := cli.BuildTopology(cfg.topo, cfg.tier, seedR)
+		if err != nil {
+			return batchOut{err: err}
+		}
+		var sc *attack.Scenario
+		if cfg.wormholes > 0 {
+			sc = attack.NewScenario(net, cfg.wormholes, cfg.behavior)
+			defer sc.Teardown()
+		}
+		src, dst := net.PickPair(rand.New(rand.NewPCG(seedR, 77)))
+		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: seedR})
+		if sc != nil {
+			sc.Arm(simNet)
+		}
+		disc := proto.Discover(simNet, src, dst)
+		o := batchOut{
+			src: src, dst: dst,
+			routes:   len(disc.Routes),
+			overhead: disc.Overhead(),
+			stats:    sam.Analyze(disc.Routes),
+		}
+		if sc != nil {
+			for _, l := range sc.TunnelLinks() {
+				if a := disc.AffectedBy(l); a > o.affected {
+					o.affected = a
+				}
+			}
+		}
+		if det != nil {
+			// Evaluate is read-only on the detector (Update is never called
+			// here), so sharing one detector across workers is safe and keeps
+			// every run scored against the same frozen profile.
+			v := det.Evaluate(o.stats)
+			o.verdict = &v
+		}
+		return o
+	})
+
+	fmt.Printf("condition %s, %d runs, master seed %d\n\n", label, cfg.runs, cfg.seed)
+	fmt.Printf("%4s %5s %5s %9s %8s %8s %8s  %s\n",
+		"run", "src", "dst", "routes", "p_max", "phi", "affected", verdictHeader(det))
+	var (
+		sumPMax, sumPhi, sumAff float64
+		totalRoutes             int
+		flagged                 int
+	)
+	for run, o := range outs {
+		if o.err != nil {
+			fatal(fmt.Errorf("run %d: %w", run, o.err))
+		}
+		v := ""
+		if o.verdict != nil {
+			v = fmt.Sprintf("%s (lambda=%.3f)", o.verdict.Decision, o.verdict.Lambda)
+			if o.verdict.Decision != sam.Normal {
+				flagged++
+			}
+		}
+		fmt.Printf("%4d %5d %5d %9d %8.4f %8.4f %7.0f%%  %s\n",
+			run, o.src, o.dst, o.routes, o.stats.PMax, o.stats.Phi, 100*o.affected, v)
+		sumPMax += o.stats.PMax
+		sumPhi += o.stats.Phi
+		sumAff += o.affected
+		totalRoutes += o.routes
+	}
+	n := float64(len(outs))
+	fmt.Printf("\nmean p_max = %.4f   mean phi = %.4f   mean affected = %.0f%%   routes/run = %.1f\n",
+		sumPMax/n, sumPhi/n, sumAff/n*100, float64(totalRoutes)/n)
+	if det != nil {
+		fmt.Printf("flagged (suspicious or attacked): %d/%d\n", flagged, len(outs))
+	}
+}
+
+func verdictHeader(det *sam.Detector) string {
+	if det == nil {
+		return ""
+	}
+	return "verdict"
 }
 
 func fatal(err error) {

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	samtrain [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
-//	         [-protocol mr|smr|dsr] [-runs N] [-seed S] [-o profile.json]
+//	         [-protocol mr|smr|dsr] [-runs N] [-parallel P] [-seed S]
+//	         [-o profile.json]
+//
+// Discoveries run on a worker pool (-parallel, default all cores) but every
+// run's randomness is derived from its run index, and results fold into the
+// trainer in run order — the emitted profile is byte-identical for any
+// parallelism, including -parallel 1.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"os"
 
 	"samnet/internal/cli"
+	"samnet/internal/routing"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 )
@@ -26,6 +34,7 @@ func main() {
 		tier      = flag.Int("tier", 1, "transmission range in grid spacings")
 		protoName = flag.String("protocol", "mr", "routing protocol: mr, smr, dsr, aomdv, mdsr")
 		runs      = flag.Int("runs", 30, "training route discoveries")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
 		seed      = flag.Uint64("seed", 2005, "master seed")
 		out       = flag.String("o", "", "output file (default stdout)")
 	)
@@ -37,17 +46,31 @@ func main() {
 	}
 
 	label := fmt.Sprintf("%s-%dtier/%s", *topoName, *tier, proto.Name())
-	trainer := sam.NewTrainer(label, 0)
-	for run := 0; run < *runs; run++ {
+
+	type discOut struct {
+		routes []routing.Route
+		err    error
+	}
+	// Each run's seeds depend only on the run index, never on which worker
+	// executes it; the trainer fold below is serial and in run order.
+	outs := runner.Map(*parallel, *runs, func(run int) discOut {
 		net, err := cli.BuildTopology(*topoName, *tier, *seed+uint64(run))
 		if err != nil {
-			fatal(err)
+			return discOut{err: err}
 		}
 		pairRng := rand.New(rand.NewPCG(*seed, uint64(run)))
 		src, dst := net.PickPair(pairRng)
 		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: *seed + uint64(run)*7919})
 		d := proto.Discover(simNet, src, dst)
-		trainer.ObserveRoutes(d.Routes)
+		return discOut{routes: d.Routes}
+	})
+
+	trainer := sam.NewTrainer(label, 0)
+	for _, o := range outs {
+		if o.err != nil {
+			fatal(o.err)
+		}
+		trainer.ObserveRoutes(o.routes)
 	}
 	profile, err := trainer.Profile()
 	if err != nil {

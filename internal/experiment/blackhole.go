@@ -6,6 +6,7 @@ import (
 	"samnet/internal/routing"
 	"samnet/internal/routing/cdsr"
 	"samnet/internal/routing/mr"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
@@ -32,7 +33,10 @@ func Blackhole(cfg Config) *trace.Artifact {
 				"traversed — the paper's 'certain level of resistance to blackhole attack'.",
 		},
 	}
-	for run := 0; run < cfg.Runs; run++ {
+	type bhOut struct {
+		fabricated, probeExposed, allGenuine bool
+	}
+	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) bhOut {
 		net := topology.Uniform(6, 6, 1, 1)
 		mal := net.Attackers()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
@@ -68,7 +72,10 @@ func Blackhole(cfg Config) *trace.Artifact {
 		}
 		_ = sam.Analyze(dMR.Routes) // statistics remain available to the IDS
 
-		t.AddRow(strconv.Itoa(run+1), boolMark(fabricated), probeMark(fabricated, probeExposed), boolMark(allGenuine))
+		return bhOut{fabricated: fabricated, probeExposed: probeExposed, allGenuine: allGenuine}
+	})
+	for run, r := range rows {
+		t.AddRow(strconv.Itoa(run+1), boolMark(r.fabricated), probeMark(r.fabricated, r.probeExposed), boolMark(r.allGenuine))
 	}
 	return &trace.Artifact{ID: "blackhole", Kind: "extension", Tables: []*trace.Table{t}}
 }

@@ -7,22 +7,21 @@
 // (master seed, condition label, run index), and the source/destination pair
 // of run i is derived from (master seed, run index) only — so the same pairs
 // are compared across normal/attacked conditions and across protocols, as a
-// paired experiment should. Runs fan out over a bounded worker pool and are
-// merged back in run order, so output is byte-stable regardless of
-// GOMAXPROCS.
+// paired experiment should. Runs fan out over the internal/runner harness
+// and are merged back in grid order, so output is byte-stable for every
+// worker count, including 1.
 package experiment
 
 import (
-	"hash/fnv"
 	"math/rand/v2"
 	"runtime"
 	"strconv"
-	"sync"
 
 	"samnet/internal/attack"
 	"samnet/internal/routing"
 	"samnet/internal/routing/dsr"
 	"samnet/internal/routing/mr"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
@@ -55,18 +54,7 @@ func (c Config) withDefaults() Config {
 
 // deriveSeed hashes (master seed, label, run) into a simulation seed.
 func deriveSeed(master uint64, label string, run int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(master >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(run) >> (8 * i))
-	}
-	h.Write(buf[:])
-	return h.Sum64()
+	return runner.DeriveSeed(master, label, run)
 }
 
 // pairRNG returns the RNG that draws run i's source/destination pair. It
@@ -157,25 +145,24 @@ func runOne(cfg Config, cond Condition, run int) RunResult {
 	return res
 }
 
-// RunCondition executes cfg.Runs runs of cond over a bounded worker pool and
+// RunCondition executes cfg.Runs runs of cond over the runner harness and
 // returns the results in run order.
 func RunCondition(cfg Config, cond Condition) []RunResult {
 	cfg = cfg.withDefaults()
-	out := make([]RunResult, cfg.Runs)
-	sem := make(chan struct{}, cfg.Workers)
-	var wg sync.WaitGroup
-	for i := 0; i < cfg.Runs; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = runOne(cfg, cond, i)
-		}()
-	}
-	wg.Wait()
-	return out
+	return runner.Map(cfg.Workers, cfg.Runs, func(i int) RunResult {
+		return runOne(cfg, cond, i)
+	})
+}
+
+// RunConditions executes cfg.Runs runs of every condition as one flattened
+// (condition x run) grid, so parallelism spans the whole grid instead of one
+// condition at a time, and returns results[condition][run] in grid order.
+// The output is identical to calling RunCondition per condition.
+func RunConditions(cfg Config, conds []Condition) [][]RunResult {
+	cfg = cfg.withDefaults()
+	return runner.MapGrid(cfg.Workers, len(conds), cfg.Runs, func(c, i int) RunResult {
+		return runOne(cfg, conds[c], i)
+	})
 }
 
 // Standard network builders, shared across experiment definitions.

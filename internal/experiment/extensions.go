@@ -6,6 +6,7 @@ import (
 	"samnet/internal/attack"
 	"samnet/internal/leash"
 	"samnet/internal/routing"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sector"
 	"samnet/internal/sim"
@@ -64,23 +65,40 @@ func Detection(cfg Config) *trace.Artifact {
 			panic("experiment: training produced no profile: " + err.Error())
 		}
 
+		// Each run gets its own detector and pipeline over the shared
+		// read-only profile, so runs evaluate in parallel; the counters fold
+		// serially in run order to keep the float sums byte-stable.
+		type evalOut struct {
+			confirmed, localized bool
+			lambda               float64
+		}
 		evalRuns := func(cond Condition, attacked bool) (confirmed, localized int, lambdaSum float64) {
 			results := RunCondition(cfg, cond)
-			for _, r := range results {
+			outs := runner.Map(cfg.Workers, len(results), func(i int) evalOut {
+				r := results[i]
 				det := sam.NewDetector(profile, sam.DetectorConfig{})
-				prober := proberFor(cfg, cond, r)
-				pipe := sam.NewPipeline(det, prober, nil, sam.PipelineConfig{})
+				pipe := sam.NewPipeline(det, proberFor(cfg, cond, r), nil, sam.PipelineConfig{})
 				out := pipe.Process(r.Routes)
-				lambdaSum += out.Verdict.Lambda
+				eo := evalOut{lambda: out.Verdict.Lambda}
 				if out.Report != nil && out.Report.Confirmed {
-					confirmed++
-					if attacked && len(r.TunnelLinks) > 0 {
+					eo.confirmed = true
+					if attacked {
 						for _, l := range r.TunnelLinks {
 							if out.Report.SuspectLink == l {
-								localized++
+								eo.localized = true
 								break
 							}
 						}
+					}
+				}
+				return eo
+			})
+			for _, eo := range outs {
+				lambdaSum += eo.lambda
+				if eo.confirmed {
+					confirmed++
+					if eo.localized {
+						localized++
 					}
 				}
 			}
@@ -143,9 +161,14 @@ func LeashCompare(cfg Config) *trace.Artifact {
 				"hardware; SAM needs only the route set multi-path routing already collects.",
 		},
 	}
-	for run := 0; run < cfg.Runs; run++ {
+	type leashOut struct {
+		leashHit, sectorHit, samHit bool
+		pmax                        float64
+	}
+	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) leashOut {
 		net := cond.Build(cfg, run)
 		sc := attack.NewScenario(net, cond.Wormholes, cond.Behavior)
+		defer sc.Teardown()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
 		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
 		checker := leash.New(net.Topo, leash.Config{}, simNet.Rand())
@@ -158,14 +181,21 @@ func LeashCompare(cfg Config) *trace.Artifact {
 		prover := sector.New(net.Topo, sector.Config{}, simNet.Rand())
 		_, sectorHit := prover.SweepNeighbors()[tunnel]
 
+		return leashOut{
+			leashHit:  verdict.Detected && verdict.WorstLink == tunnel,
+			sectorHit: sectorHit,
+			samHit:    st.Suspect == tunnel,
+			pmax:      st.PMax,
+		}
+	})
+	for run, r := range rows {
 		t.AddRow(
 			strconv.Itoa(run+1),
-			boolMark(verdict.Detected && verdict.WorstLink == tunnel),
-			boolMark(sectorHit),
-			trace.F(st.PMax),
-			boolMark(st.Suspect == tunnel),
+			boolMark(r.leashHit),
+			boolMark(r.sectorHit),
+			trace.F(r.pmax),
+			boolMark(r.samHit),
 		)
-		sc.Teardown()
 	}
 	return &trace.Artifact{ID: "leash", Kind: "extension", Tables: []*trace.Table{t}}
 }

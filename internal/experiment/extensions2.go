@@ -9,6 +9,7 @@ import (
 	"samnet/internal/routing"
 	"samnet/internal/routing/aomdv"
 	"samnet/internal/routing/mdsr"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
@@ -42,14 +43,20 @@ func Protocols(cfg Config) *trace.Artifact {
 				"discovery than their single-path counterparts DSR and AODV, but MDSR does not.",
 		},
 	}
+	// One flattened (protocol x condition x run) grid: all five protocols'
+	// normal and attacked runs share the worker pool.
+	conds := make([]Condition, 0, 2*len(protos))
 	for _, p := range protos {
-		normal := RunCondition(cfg, Condition{
-			Label: "protocols/" + p.name + "/normal", Build: buildCluster(1), Protocol: p.mk,
-		})
-		attacked := RunCondition(cfg, Condition{
-			Label: "protocols/" + p.name + "/attack", Build: buildCluster(1),
-			Wormholes: 1, Protocol: p.mk,
-		})
+		conds = append(conds,
+			Condition{Label: "protocols/" + p.name + "/normal", Build: buildCluster(1), Protocol: p.mk},
+			Condition{
+				Label: "protocols/" + p.name + "/attack", Build: buildCluster(1),
+				Wormholes: 1, Protocol: p.mk,
+			})
+	}
+	all := RunConditions(cfg, conds)
+	for pi, p := range protos {
+		normal, attacked := all[2*pi], all[2*pi+1]
 		var rn, ra, pn, pa, loc float64
 		for i := 0; i < cfg.Runs; i++ {
 			rn += float64(len(normal[i].Routes))
@@ -85,7 +92,11 @@ func Rushing(cfg Config) *trace.Artifact {
 		},
 	}
 	normal := RunCondition(cfg, clusterCond(1, 0, mrProtocol, "MR"))
-	for run := 0; run < cfg.Runs; run++ {
+	type rushOut struct {
+		pmax  float64
+		onMax bool
+	}
+	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) rushOut {
 		net := topology.Cluster(1, 2)
 		sc := attack.NewRushingScenario(net, 1, 0.3, attack.Forward)
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
@@ -94,8 +105,10 @@ func Rushing(cfg Config) *trace.Artifact {
 		disc := mrProtocol().Discover(simNet, src, dst)
 		st := sam.Analyze(disc.Routes)
 		mal := sc.MaliciousNodes()
-		onMax := mal[st.MaxLink.A] || mal[st.MaxLink.B]
-		t.AddRow(strconv.Itoa(run+1), trace.F(normal[run].Stats.PMax), trace.F(st.PMax), boolMark(onMax))
+		return rushOut{pmax: st.PMax, onMax: mal[st.MaxLink.A] || mal[st.MaxLink.B]}
+	})
+	for run, r := range rows {
+		t.AddRow(strconv.Itoa(run+1), trace.F(normal[run].Stats.PMax), trace.F(r.pmax), boolMark(r.onMax))
 	}
 	return &trace.Artifact{ID: "rushing", Kind: "extension", Tables: []*trace.Table{t}}
 }
@@ -112,32 +125,49 @@ func Loss(cfg Config) *trace.Artifact {
 				"signature survives moderate loss.",
 		},
 	}
-	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
+	losses := []float64{0, 0.05, 0.1, 0.2}
+	type lossOut struct {
+		routes, pa, pn float64
+		localized      bool
+	}
+	// One flattened (loss rate x run) grid; sums fold serially per row.
+	grid := runner.MapGrid(cfg.Workers, len(losses), cfg.Runs, func(li, run int) lossOut {
+		loss := losses[li]
+
+		// Attacked run.
+		net := topology.Cluster(1, 2)
+		sc := attack.NewScenario(net, 1, attack.Forward)
+		defer sc.Teardown()
+		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+		simNet := sim.NewNetwork(net.Topo, sim.Config{
+			Seed: deriveSeed(cfg.Seed, "loss/attack", run), LossRate: loss,
+		})
+		disc := mrProtocol().Discover(simNet, src, dst)
+		st := sam.Analyze(disc.Routes)
+		out := lossOut{
+			routes:    float64(len(disc.Routes)),
+			pa:        st.PMax,
+			localized: len(disc.Routes) > 0 && st.Suspect == sc.TunnelLinks()[0],
+		}
+
+		// Paired normal run at the same loss rate.
+		netN := topology.Cluster(1, 2)
+		simN := sim.NewNetwork(netN.Topo, sim.Config{
+			Seed: deriveSeed(cfg.Seed, "loss/normal", run), LossRate: loss,
+		})
+		discN := mrProtocol().Discover(simN, src, dst)
+		out.pn = sam.Analyze(discN.Routes).PMax
+		return out
+	})
+	for li, loss := range losses {
 		var routes, pa, pn, loc float64
-		for run := 0; run < cfg.Runs; run++ {
-			// Attacked run.
-			net := topology.Cluster(1, 2)
-			sc := attack.NewScenario(net, 1, attack.Forward)
-			src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-			simNet := sim.NewNetwork(net.Topo, sim.Config{
-				Seed: deriveSeed(cfg.Seed, "loss/attack", run), LossRate: loss,
-			})
-			disc := mrProtocol().Discover(simNet, src, dst)
-			st := sam.Analyze(disc.Routes)
-			routes += float64(len(disc.Routes))
-			pa += st.PMax
-			if len(disc.Routes) > 0 && st.Suspect == sc.TunnelLinks()[0] {
+		for _, o := range grid[li] {
+			routes += o.routes
+			pa += o.pa
+			pn += o.pn
+			if o.localized {
 				loc++
 			}
-			sc.Teardown()
-
-			// Paired normal run at the same loss rate.
-			netN := topology.Cluster(1, 2)
-			simN := sim.NewNetwork(netN.Topo, sim.Config{
-				Seed: deriveSeed(cfg.Seed, "loss/normal", run), LossRate: loss,
-			})
-			discN := mrProtocol().Discover(simN, src, dst)
-			pn += sam.Analyze(discN.Routes).PMax
 		}
 		n := float64(cfg.Runs)
 		t.AddRow(trace.Pct(loss), trace.F2(routes/n), trace.F(pa/n), trace.F(pn/n), trace.Pct(loc/n))
@@ -158,35 +188,52 @@ func Mobility(cfg Config) *trace.Artifact {
 				"assumption). Disconnected draws produce empty route sets and are skipped in the means.",
 		},
 	}
-	for _, drift := range []float64{0, 2, 5, 10} {
+	drifts := []float64{0, 2, 5, 10}
+	type mobOut struct {
+		connected bool
+		pa, pn    float64
+		localized bool
+	}
+	mobGrid := runner.MapGrid(cfg.Workers, len(drifts), cfg.Runs, func(di, run int) mobOut {
+		net := topology.Random(topology.RandomConfig{Wormholes: 1}, topoRNG(cfg.Seed, run))
+		model := mobility.New(net.Topo, mobility.Config{
+			Arena: geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15)),
+		}, topoRNG(cfg.Seed+1, run))
+		pair := net.AttackerPairs[0]
+		model.Pin(pair[0], pair[1])
+		model.Advance(drifts[di])
+
+		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+		sc := attack.NewScenario(net, 1, attack.Forward)
+		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/attack", run)})
+		disc := mrProtocol().Discover(simNet, src, dst)
+		sc.Teardown()
+
+		simN := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/normal", run)})
+		discN := mrProtocol().Discover(simN, src, dst)
+
+		if len(disc.Routes) == 0 || len(discN.Routes) == 0 {
+			return mobOut{} // drifted apart: no routes either way
+		}
+		st := sam.Analyze(disc.Routes)
+		return mobOut{
+			connected: true,
+			pa:        st.PMax,
+			pn:        sam.Analyze(discN.Routes).PMax,
+			localized: st.Suspect == topology.MkLink(pair[0], pair[1]),
+		}
+	})
+	for di, drift := range drifts {
 		var pa, pn, loc float64
 		connected := 0
-		for run := 0; run < cfg.Runs; run++ {
-			net := topology.Random(topology.RandomConfig{Wormholes: 1}, topoRNG(cfg.Seed, run))
-			model := mobility.New(net.Topo, mobility.Config{
-				Arena: geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15)),
-			}, topoRNG(cfg.Seed+1, run))
-			pair := net.AttackerPairs[0]
-			model.Pin(pair[0], pair[1])
-			model.Advance(drift)
-
-			src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-			sc := attack.NewScenario(net, 1, attack.Forward)
-			simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/attack", run)})
-			disc := mrProtocol().Discover(simNet, src, dst)
-			sc.Teardown()
-
-			simN := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/normal", run)})
-			discN := mrProtocol().Discover(simN, src, dst)
-
-			if len(disc.Routes) == 0 || len(discN.Routes) == 0 {
-				continue // drifted apart: no routes either way
+		for _, o := range mobGrid[di] {
+			if !o.connected {
+				continue
 			}
 			connected++
-			st := sam.Analyze(disc.Routes)
-			pa += st.PMax
-			pn += sam.Analyze(discN.Routes).PMax
-			if st.Suspect == topology.MkLink(pair[0], pair[1]) {
+			pa += o.pa
+			pn += o.pn
+			if o.localized {
 				loc++
 			}
 		}

@@ -23,10 +23,7 @@ func seriesTable(cfg Config, title, stat string, fn statFn, conds []Condition, n
 		Headers: append([]string{"Run"}, names...),
 		Notes:   notes,
 	}
-	results := make([][]RunResult, len(conds))
-	for i, c := range conds {
-		results[i] = RunCondition(cfg, c)
-	}
+	results := RunConditions(cfg, conds)
 	means := make([]float64, len(conds))
 	for run := 0; run < cfg.Runs; run++ {
 		row := []string{strconv.Itoa(run + 1)}
@@ -51,8 +48,11 @@ func seriesTable(cfg Config, title, stat string, fn statFn, conds []Condition, n
 // wormhole attack.
 func Fig5(cfg Config) *trace.Artifact {
 	cfg = cfg.withDefaults()
-	normal := RunCondition(cfg, clusterCond(1, 0, mrProtocol, "MR"))[0]
-	attacked := RunCondition(cfg, clusterCond(1, 1, mrProtocol, "MR"))[0]
+	both := RunConditions(cfg, []Condition{
+		clusterCond(1, 0, mrProtocol, "MR"),
+		clusterCond(1, 1, mrProtocol, "MR"),
+	})
+	normal, attacked := both[0][0], both[1][0]
 
 	const bins = 25 // 4% resolution over [0,1]
 	pN := normal.Stats.PMF(bins)

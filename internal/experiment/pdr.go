@@ -3,6 +3,7 @@ package experiment
 import (
 	"samnet/internal/attack"
 	"samnet/internal/routing"
+	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
@@ -50,9 +51,11 @@ func PDR(cfg Config) *trace.Artifact {
 		panic("experiment: pdr training failed: " + err.Error())
 	}
 
-	var sent [3]int
-	var delivered [3]int
-	for run := 0; run < cfg.Runs; run++ {
+	type pdrOut struct {
+		sent, delivered [3]int
+	}
+	outs := runner.Map(cfg.Workers, cfg.Runs, func(run int) pdrOut {
+		var tally pdrOut
 		net := topology.Cluster(1, 2)
 		sc := attack.NewScenario(net, 1, attack.Blackhole)
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
@@ -65,7 +68,7 @@ func PDR(cfg Config) *trace.Artifact {
 		send := func(regime int, routes []routing.Route, excluded map[topology.NodeID]bool) {
 			routes = routing.SelectDisjoint(routes, 2)
 			if len(routes) == 0 {
-				sent[regime] += packetsPerRun // nothing usable: all lost
+				tally.sent[regime] += packetsPerRun // nothing usable: all lost
 				return
 			}
 			pNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/send", run)})
@@ -81,9 +84,9 @@ func PDR(cfg Config) *trace.Artifact {
 				batch = append(batch, routes[i%len(routes)])
 			}
 			for _, res := range routing.ProbeRoutes(pNet, batch) {
-				sent[regime]++
+				tally.sent[regime]++
 				if res.Acked {
-					delivered[regime]++
+					tally.delivered[regime]++
 				}
 			}
 		}
@@ -114,6 +117,14 @@ func PDR(cfg Config) *trace.Artifact {
 		send(2, clean.Routes, excluded)
 
 		sc.Teardown()
+		return tally
+	})
+	var sent, delivered [3]int
+	for _, o := range outs {
+		for i := 0; i < 3; i++ {
+			sent[i] += o.sent[i]
+			delivered[i] += o.delivered[i]
+		}
 	}
 
 	names := []string{"oblivious (no detection)", "detected (avoid accused link)", "isolated (step 3) + rediscovery"}

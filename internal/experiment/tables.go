@@ -20,10 +20,11 @@ func Table1(cfg Config) *trace.Artifact {
 		{"Uniform MR", uniformCond(6, 6, 1, 1, mrProtocol, "MR")},
 		{"Uniform DSR", uniformCond(6, 6, 1, 1, dsrProtocol, "DSR")},
 	}
-	results := make([][]RunResult, len(cols))
+	conds := make([]Condition, len(cols))
 	for i, c := range cols {
-		results[i] = RunCondition(cfg, c.cond)
+		conds[i] = c.cond
 	}
+	results := RunConditions(cfg, conds)
 
 	t := &trace.Table{
 		Title:   "Table I — Percentage of routes affected by wormhole attack",
@@ -65,10 +66,11 @@ func Table2(cfg Config) *trace.Artifact {
 		{"Uniform MR", uniformCond(6, 6, 1, 1, mrProtocol, "MR")},
 		{"Uniform DSR", uniformCond(6, 6, 1, 1, dsrProtocol, "DSR")},
 	}
-	results := make([][]RunResult, len(cols))
+	conds := make([]Condition, len(cols))
 	for i, c := range cols {
-		results[i] = RunCondition(cfg, c.cond)
+		conds[i] = c.cond
 	}
+	results := RunConditions(cfg, conds)
 
 	t := &trace.Table{
 		Title:   "Table II — Overhead of route discovery (tx+rx at all nodes)",

@@ -1,0 +1,143 @@
+// Package runner is the deterministic parallel experiment harness: it fans
+// an indexed grid of independent runs across a bounded worker pool and
+// merges the results back in grid order, so the output of any experiment is
+// bitwise-identical for every parallelism level, including 1.
+//
+// The determinism contract has three legs:
+//
+//  1. Randomness derives from grid coordinates, never from workers. Every
+//     run draws its RNG streams via DeriveSeed/StreamRNG from (master seed,
+//     axis label, run index) — a pure function of the cell's position in the
+//     grid. Which worker executes a cell, and in what order cells complete,
+//     cannot influence a single random draw.
+//  2. Results are merged in grid order. Map writes each result into the
+//     slot its index owns; no result ever passes through a channel whose
+//     receive order depends on scheduling.
+//  3. Cross-run state folds serially. Anything order-sensitive (trainer
+//     accumulators, adaptive detectors, floating-point sums) is folded by
+//     the caller over the merged slice, in index order, after the parallel
+//     phase.
+//
+// Workers pull the next cell from an atomic cursor (work stealing), so an
+// expensive cell never idles the pool the way static striping would.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map executes fn(0..n-1) on min(parallel, n) workers and returns the
+// results in index order. parallel <= 0 selects GOMAXPROCS; parallel == 1
+// runs inline with no goroutines at all. A panic in any fn is re-raised on
+// the caller's goroutine after the remaining workers drain.
+func Map[T any](parallel, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(parallel, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEach is Map without collected results: fn(0..n-1) over the pool, same
+// determinism contract (fn must write only to state its index owns).
+func ForEach(parallel, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		once   sync.Once
+		panicv any
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							once.Do(func() { panicv = fmt.Errorf("runner: run %d panicked: %v", i, r) })
+							// Park the cursor past the end so the pool
+							// drains instead of starting more cells.
+							cursor.Store(int64(n))
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicv != nil {
+		panic(panicv)
+	}
+}
+
+// MapGrid executes fn over an outer x inner grid, flattened row-major into
+// one work list so parallelism spans the whole grid (a slow outer row never
+// serializes behind the others), and returns results as [outer][inner]T in
+// grid order.
+func MapGrid[T any](parallel, outer, inner int, fn func(o, i int) T) [][]T {
+	if outer <= 0 || inner <= 0 {
+		return nil
+	}
+	flat := Map(parallel, outer*inner, func(k int) T {
+		return fn(k/inner, k%inner)
+	})
+	out := make([][]T, outer)
+	for o := range out {
+		out[o] = flat[o*inner : (o+1)*inner]
+	}
+	return out
+}
+
+// DeriveSeed hashes (master seed, label, run) into an independent stream
+// seed. The label names the axis or condition ("cluster-1tier/MR/attack",
+// "pair", "topo"); renaming a label reshuffles its streams, nothing else
+// does.
+func DeriveSeed(master uint64, label string, run int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(master >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(run) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// StreamRNG returns the PCG stream owned by grid cell (master, label, run).
+// Two distinct cells get statistically independent streams; the same cell
+// always gets the same stream, regardless of worker identity or completion
+// order.
+func StreamRNG(master uint64, label string, run int) *rand.Rand {
+	return rand.New(rand.NewPCG(DeriveSeed(master, label, run), 0x9e3779b97f4a7c15))
+}

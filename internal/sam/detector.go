@@ -31,32 +31,38 @@ type DetectorConfig struct {
 	// Defaults 0.7 and 0.25.
 	SuspectLambda, AttackLambda float64
 	// Beta is the forgetting factor of the adaptive profile update
-	// (equations 8 and 9), 0 < Beta < 1. Default 0.1.
+	// (equations 8 and 9), 0 < Beta < 1. Default 0.1. Beta has no
+	// meaningful zero, so ExplicitZero does not apply to it.
 	Beta float64
 }
 
+// ExplicitZero configures a DetectorConfig field to an effective value of
+// zero. A literal 0 is the "use the default" sentinel, so fields that are
+// meaningfully zero — MinStd: 0 disables the std floor, AttackLambda: 0
+// reserves the Attacked verdict for lambda exactly 0, ZLow/TVLow: 0 start
+// the risk ramps immediately — take this (or any negative value) instead.
+const ExplicitZero = -1.0
+
+// resolve maps a config field to its effective value: zero selects the
+// default, negative (ExplicitZero) selects a true zero.
+func resolve(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
 func (c *DetectorConfig) defaults() {
-	if c.ZLow == 0 {
-		c.ZLow = 1.5
-	}
-	if c.ZHigh == 0 {
-		c.ZHigh = 4
-	}
-	if c.MinStd == 0 {
-		c.MinStd = 0.02
-	}
-	if c.TVLow == 0 {
-		c.TVLow = 0.3
-	}
-	if c.TVHigh == 0 {
-		c.TVHigh = 0.7
-	}
-	if c.SuspectLambda == 0 {
-		c.SuspectLambda = 0.7
-	}
-	if c.AttackLambda == 0 {
-		c.AttackLambda = 0.25
-	}
+	c.ZLow = resolve(c.ZLow, 1.5)
+	c.ZHigh = resolve(c.ZHigh, 4)
+	c.MinStd = resolve(c.MinStd, 0.02)
+	c.TVLow = resolve(c.TVLow, 0.3)
+	c.TVHigh = resolve(c.TVHigh, 0.7)
+	c.SuspectLambda = resolve(c.SuspectLambda, 0.7)
+	c.AttackLambda = resolve(c.AttackLambda, 0.25)
 	if c.Beta == 0 {
 		c.Beta = 0.1
 	}
@@ -206,6 +212,18 @@ func (d *Detector) Update(s Stats, lambda float64) {
 func (d *Detector) zScore(obs, mean, std float64) float64 {
 	if std < d.cfg.MinStd {
 		std = d.cfg.MinStd
+	}
+	if std == 0 {
+		// MinStd: ExplicitZero with a degenerate training set. Any
+		// deviation from the mean is infinitely surprising; none is no
+		// surprise at all. Keeps NaN out of the lambda computation.
+		switch {
+		case obs > mean:
+			return math.Inf(1)
+		case obs < mean:
+			return math.Inf(-1)
+		}
+		return 0
 	}
 	return (obs - mean) / std
 }

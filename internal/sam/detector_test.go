@@ -196,6 +196,60 @@ func TestDetectorConfigValidation(t *testing.T) {
 	}()
 }
 
+// TestDetectorConfigZeroSemantics pins the two meanings of "zero" in
+// DetectorConfig: a literal 0 selects the documented default, while
+// ExplicitZero (any negative value) selects a true zero.
+func TestDetectorConfigZeroSemantics(t *testing.T) {
+	tr := NewTrainer("x", 0)
+	tr.ObserveRoutes(normalRoutes(0))
+	prof, _ := tr.Profile()
+
+	def := NewDetector(prof, DetectorConfig{}).Config()
+	want := DetectorConfig{
+		ZLow: 1.5, ZHigh: 4, MinStd: 0.02,
+		TVLow: 0.3, TVHigh: 0.7,
+		SuspectLambda: 0.7, AttackLambda: 0.25, Beta: 0.1,
+	}
+	if def != want {
+		t.Errorf("zero config resolved to %+v, want %+v", def, want)
+	}
+
+	got := NewDetector(prof, DetectorConfig{
+		ZLow:   ExplicitZero,
+		MinStd: ExplicitZero,
+		TVLow:  ExplicitZero,
+		// AttackLambda 0 would previously have been overwritten with the
+		// default 0.25, making "alert only at lambda exactly 0" unreachable.
+		AttackLambda: ExplicitZero,
+	}).Config()
+	if got.ZLow != 0 || got.MinStd != 0 || got.TVLow != 0 || got.AttackLambda != 0 {
+		t.Errorf("ExplicitZero fields resolved to %+v, want true zeros", got)
+	}
+	// Fields left at literal zero alongside ExplicitZero ones still default.
+	if got.ZHigh != 4 || got.TVHigh != 0.7 || got.SuspectLambda != 0.7 || got.Beta != 0.1 {
+		t.Errorf("defaulted fields corrupted by ExplicitZero neighbours: %+v", got)
+	}
+	// Positive values pass through untouched.
+	if c := NewDetector(prof, DetectorConfig{MinStd: 0.5}).Config(); c.MinStd != 0.5 {
+		t.Errorf("explicit MinStd 0.5 resolved to %v", c.MinStd)
+	}
+}
+
+// TestZScoreZeroStd: with the std floor disabled and a degenerate profile,
+// z-scores must stay NaN-free so lambda remains a valid decision.
+func TestZScoreZeroStd(t *testing.T) {
+	d := &Detector{cfg: DetectorConfig{MinStd: 0}}
+	if z := d.zScore(1, 1, 0); z != 0 {
+		t.Errorf("zScore(obs==mean, std=0) = %v, want 0", z)
+	}
+	if z := d.zScore(2, 1, 0); !math.IsInf(z, 1) {
+		t.Errorf("zScore(obs>mean, std=0) = %v, want +Inf", z)
+	}
+	if z := d.zScore(0, 1, 0); !math.IsInf(z, -1) {
+		t.Errorf("zScore(obs<mean, std=0) = %v, want -Inf", z)
+	}
+}
+
 func TestDecisionString(t *testing.T) {
 	for d, want := range map[Decision]string{
 		Normal:     "normal",
@@ -227,6 +281,26 @@ func TestProfileJSONRoundTrip(t *testing.T) {
 	}
 	if back.PMF.Total != prof.PMF.Total || back.PMF.Bins() != prof.PMF.Bins() {
 		t.Error("round trip lost PMF")
+	}
+	if back.Runs != 5 {
+		t.Errorf("round trip lost run count: got %d, want 5", back.Runs)
+	}
+}
+
+// TestProfileJSONLegacyRuns: blobs written before the runs field existed
+// still decode, reporting zero runs; negative counts are rejected.
+func TestProfileJSONLegacyRuns(t *testing.T) {
+	var p Profile
+	legacy := `{"label":"x","pmf_counts":[1,2],"pmf_total":3}`
+	if err := json.Unmarshal([]byte(legacy), &p); err != nil {
+		t.Fatalf("legacy blob without runs should decode: %v", err)
+	}
+	if p.Runs != 0 {
+		t.Errorf("legacy blob Runs = %d, want 0", p.Runs)
+	}
+	bad := `{"label":"x","runs":-3,"pmf_counts":[1,2],"pmf_total":3}`
+	if err := json.Unmarshal([]byte(bad), &p); err == nil {
+		t.Error("negative run count should be rejected")
 	}
 }
 

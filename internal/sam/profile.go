@@ -22,6 +22,11 @@ type Profile struct {
 	// "cluster-1tier/MR".
 	Label string
 
+	// Runs is the number of training route sets the profile was built from;
+	// it survives serialization so a preloaded profile still reports how
+	// much data backs it.
+	Runs int
+
 	// PMax and Phi summarize the training distribution of the two features.
 	PMax stats.Summary
 	Phi  stats.Summary
@@ -73,6 +78,7 @@ func (t *Trainer) Profile() (*Profile, error) {
 	}
 	return &Profile{
 		Label: t.label,
+		Runs:  t.pmaxAcc.N(),
 		PMax:  t.pmaxAcc.Summarize(),
 		Phi:   t.phiAcc.Summarize(),
 		PMF:   t.pmf.Clone(),
@@ -91,9 +97,12 @@ func (p *Profile) Clone() *Profile {
 	return &c
 }
 
-// profileJSON is the serialized form of a Profile.
+// profileJSON is the serialized form of a Profile. Runs is omitempty so
+// profiles written before the field existed (and hand-built ones) still
+// decode; they report zero training runs.
 type profileJSON struct {
 	Label     string        `json:"label"`
+	Runs      int           `json:"runs,omitempty"`
 	PMax      stats.Summary `json:"pmax"`
 	Phi       stats.Summary `json:"phi"`
 	PMFCounts []int         `json:"pmf_counts"`
@@ -104,6 +113,7 @@ type profileJSON struct {
 func (p *Profile) MarshalJSON() ([]byte, error) {
 	return json.Marshal(profileJSON{
 		Label:     p.Label,
+		Runs:      p.Runs,
 		PMax:      p.PMax,
 		Phi:       p.Phi,
 		PMFCounts: p.PMF.Counts,
@@ -131,7 +141,11 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("sam: profile %q PMF total %d does not match counts sum %d",
 			j.Label, j.PMFTotal, sum)
 	}
+	if j.Runs < 0 {
+		return fmt.Errorf("sam: profile %q has negative run count", j.Label)
+	}
 	p.Label = j.Label
+	p.Runs = j.Runs
 	p.PMax = j.PMax
 	p.Phi = j.Phi
 	p.PMF = &stats.PMF{Counts: j.PMFCounts, Total: j.PMFTotal}

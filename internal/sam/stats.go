@@ -11,7 +11,8 @@ package sam
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"samnet/internal/routing"
 	"samnet/internal/stats"
@@ -54,15 +55,41 @@ type Stats struct {
 	Suspect topology.Link
 }
 
+// scratch holds the per-call working state of Analyze. Link counting is the
+// hot path of every experiment run and every service request, so the count
+// map is pooled and reused instead of reallocated per route set; only the
+// ByLink slice (which the returned Stats owns) is freshly allocated.
+type scratch struct {
+	counts map[topology.Link]int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &scratch{counts: make(map[topology.Link]int, 128)} },
+}
+
 // Analyze computes the SAM statistics of a route set.
 func Analyze(routes []routing.Route) Stats {
+	sc := scratchPool.Get().(*scratch)
+	s := analyzeInto(sc, routes)
+	clear(sc.counts)
+	scratchPool.Put(sc)
+	return s
+}
+
+// analyzeInto computes the statistics using sc's buffers. sc.counts must be
+// empty on entry; the caller clears it afterwards.
+func analyzeInto(sc *scratch, routes []routing.Route) Stats {
 	var s Stats
 	s.Routes = len(routes)
-	counts := make(map[topology.Link]int)
+	counts := sc.counts
+	// Count links in place rather than materializing a Route.Links() slice
+	// per route.
 	for _, r := range routes {
-		for _, l := range r.Links() {
-			counts[l]++
-			s.N++
+		for i := 0; i+1 < len(r); i++ {
+			counts[topology.MkLink(r[i], r[i+1])]++
+		}
+		if len(r) > 1 {
+			s.N += len(r) - 1
 		}
 	}
 	if s.N == 0 {
@@ -72,14 +99,14 @@ func Analyze(routes []routing.Route) Stats {
 	for l, c := range counts {
 		s.ByLink = append(s.ByLink, LinkCount{Link: l, Count: c, P: float64(c) / float64(s.N)})
 	}
-	sort.Slice(s.ByLink, func(i, j int) bool {
-		if s.ByLink[i].Count != s.ByLink[j].Count {
-			return s.ByLink[i].Count > s.ByLink[j].Count
+	slices.SortFunc(s.ByLink, func(a, b LinkCount) int {
+		if a.Count != b.Count {
+			return b.Count - a.Count
 		}
-		if s.ByLink[i].Link.A != s.ByLink[j].Link.A {
-			return s.ByLink[i].Link.A < s.ByLink[j].Link.A
+		if a.Link.A != b.Link.A {
+			return int(a.Link.A) - int(b.Link.A)
 		}
-		return s.ByLink[i].Link.B < s.ByLink[j].Link.B
+		return int(a.Link.B) - int(b.Link.B)
 	})
 	top := s.ByLink[0]
 	s.MaxLink = top.Link
@@ -98,15 +125,20 @@ func Analyze(routes []routing.Route) Stats {
 
 // localize picks the accused link from the statistics. See Stats.Suspect.
 func localize(routes []routing.Route, s Stats) topology.Link {
-	top := make(map[topology.Link]bool)
+	ties := 0
 	for _, lc := range s.ByLink {
 		if lc.Count != s.NMax {
 			break // ByLink is sorted by decreasing count
 		}
-		top[lc.Link] = true
+		ties++
 	}
-	if len(top) == 1 {
+	if ties == 1 {
+		// The common case: a unique maximum needs no tie-breaking state.
 		return s.MaxLink
+	}
+	top := make(map[topology.Link]bool, ties)
+	for _, lc := range s.ByLink[:ties] {
+		top[lc.Link] = true
 	}
 	// Every tied link appears n_max times; when n_max equals the route
 	// count they all lie on every route, so the first route orders them.
@@ -124,7 +156,8 @@ func localize(routes []routing.Route, s Stats) topology.Link {
 	}
 	src, dst := ref[0], ref[len(ref)-1]
 	var ordered, filtered []topology.Link
-	for _, l := range ref.Links() {
+	for i := 0; i+1 < len(ref); i++ {
+		l := topology.MkLink(ref[i], ref[i+1])
 		if !top[l] {
 			continue
 		}
@@ -157,7 +190,9 @@ func (s Stats) Frequencies() []float64 {
 // count.
 func (s Stats) PMF(bins int) *stats.PMF {
 	p := stats.NewPMF(bins)
-	p.AddAll(s.Frequencies())
+	for _, lc := range s.ByLink {
+		p.Add(lc.P) // straight from ByLink: no Frequencies() slice
+	}
 	return p
 }
 

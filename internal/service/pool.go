@@ -15,6 +15,14 @@ type pool struct {
 	cap     int64
 	pending atomic.Int64
 	wg      sync.WaitGroup
+
+	// closeMu serializes admission against close: tryRun holds the read
+	// side across its channel sends, close takes the write side before
+	// closing the channel, so a send can never race the close. closed is
+	// checked under the same lock — after close, tryRun fail-fasts (the
+	// caller answers 429/503) instead of panicking on a closed channel.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // newPool starts workers goroutines over a queue admitting at most queueCap
@@ -42,7 +50,8 @@ func newPool(workers, queueCap int) *pool {
 
 // tryRun admits all of fns or none. On admission it runs them on the pool,
 // waits for completion, and returns true; when the batch does not fit under
-// the queue cap it returns false without running anything.
+// the queue cap, or the pool has been closed, it returns false without
+// running anything.
 //
 // Admission reserves len(fns) slots up front, so the channel sends below can
 // never block: tasks still in the channel never exceed the reserved total,
@@ -56,6 +65,12 @@ func (p *pool) tryRun(fns []func()) bool {
 		p.pending.Add(-n)
 		return false
 	}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		p.pending.Add(-n)
+		return false
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for _, fn := range fns {
@@ -65,6 +80,7 @@ func (p *pool) tryRun(fns []func()) bool {
 			fn()
 		}
 	}
+	p.closeMu.RUnlock()
 	wg.Wait()
 	return true
 }
@@ -72,10 +88,19 @@ func (p *pool) tryRun(fns []func()) bool {
 // depth returns the current number of admitted (queued or running) tasks.
 func (p *pool) depth() int64 { return p.pending.Load() }
 
-// close stops the workers after the queue drains. The caller must guarantee
-// no tryRun is in flight (the HTTP server's graceful Shutdown provides
-// exactly that).
+// close stops the workers after the queue drains. It is idempotent and safe
+// to race with tryRun: batches admitted before the close still complete,
+// batches arriving after it are refused. The HTTP server's graceful
+// Shutdown usually guarantees no tryRun is in flight, but close no longer
+// depends on that.
 func (p *pool) close() {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return
+	}
+	p.closed = true
 	close(p.tasks)
+	p.closeMu.Unlock()
 	p.wg.Wait()
 }

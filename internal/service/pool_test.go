@@ -1,0 +1,87 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolCloseRace hammers tryRun from many goroutines while close runs
+// concurrently: no send may panic on the closed channel, every batch must
+// either run completely or be refused, and close must be idempotent. Run
+// under -race this is the regression test for the graceful-shutdown race.
+func TestPoolCloseRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		p := newPool(4, 32)
+		var ran atomic.Int64
+		var admitted atomic.Int64
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					batch := []func(){
+						func() { ran.Add(1) },
+						func() { ran.Add(1) },
+					}
+					if p.tryRun(batch) {
+						admitted.Add(int64(len(batch)))
+					}
+				}
+			}()
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			p.close()
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			p.close() // idempotent: a second concurrent close must be a no-op
+		}()
+		close(start)
+		wg.Wait()
+
+		if ran.Load() != admitted.Load() {
+			t.Fatalf("iter %d: %d tasks ran but %d were admitted — a batch was half-dropped",
+				iter, ran.Load(), admitted.Load())
+		}
+		if p.tryRun([]func(){func() { ran.Add(1) }}) {
+			t.Fatalf("iter %d: tryRun admitted a batch after close", iter)
+		}
+		p.close() // and a third, sequential close stays a no-op
+	}
+}
+
+// TestPoolBackpressure pins the admission contract: a batch larger than the
+// queue cap is refused outright, a fitting one runs to completion.
+func TestPoolBackpressure(t *testing.T) {
+	p := newPool(2, 4)
+	defer p.close()
+
+	big := make([]func(), 5)
+	for i := range big {
+		big[i] = func() {}
+	}
+	if p.tryRun(big) {
+		t.Fatal("batch of 5 admitted over queue cap 4")
+	}
+	if got := p.depth(); got != 0 {
+		t.Fatalf("refused batch left depth %d, want 0", got)
+	}
+
+	var ran atomic.Int64
+	ok := p.tryRun([]func(){
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+	})
+	if !ok || ran.Load() != 2 {
+		t.Fatalf("fitting batch: admitted=%v ran=%d, want true/2", ok, ran.Load())
+	}
+}

@@ -303,7 +303,13 @@ func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 	e := s.store.getOrCreate(name)
 	runs, err := e.train(sets)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, errProfileBuild) {
+			// Observations were recorded but no usable profile came out of
+			// them: the training data is unprocessable, not a server fault.
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "profile %q: %v", name, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})

@@ -536,3 +536,85 @@ func TestLoadProfile(t *testing.T) {
 		t.Fatalf("wormhole set judged normal against preloaded profile: %+v", dr.Verdict)
 	}
 }
+
+// TestPreloadedProfileReportsRuns is the regression test for preloaded
+// profiles answering "runs": 0 on GET: the entry's local trainer is empty, so
+// the run count recorded in the loaded profile itself must be surfaced.
+func TestPreloadedProfileReportsRuns(t *testing.T) {
+	tr := sam.NewTrainer("preloaded", 0)
+	for _, set := range genSets(10, false, 4444) {
+		routes, err := decodeRoutes(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.ObserveRoutes(routes)
+	}
+	p, err := tr.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Runs != 10 {
+		t.Fatalf("trainer produced profile with Runs = %d, want 10", p.Runs)
+	}
+
+	svc := New(Config{})
+	defer svc.Close()
+	if err := svc.LoadProfile("pre", p); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/profiles/pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET preloaded profile = %s", resp.Status)
+	}
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Runs != 10 {
+		t.Errorf("GET /v1/profiles/pre runs = %d, want 10 (from loaded profile)", pr.Runs)
+	}
+	if pr.Profile == nil || pr.Profile.Runs != 10 {
+		t.Errorf("embedded profile = %+v, want Runs 10", pr.Profile)
+	}
+
+	// The list endpoint goes through the same snapshot path.
+	resp2, err := http.Get(ts.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var list []ProfileInfo
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Runs != 10 || !list[0].Trained {
+		t.Errorf("profile list = %+v, want one trained entry with 10 runs", list)
+	}
+
+	// Training on top of the preload switches back to the live trainer's
+	// count rather than summing with the preloaded one.
+	resp3, body := postJSON(t, ts.URL+"/v1/profiles/pre/train",
+		mustJSON(t, TrainRequest{RouteSets: genSets(3, false, 5555)}))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("train over preload = %d (%s)", resp3.StatusCode, body)
+	}
+	resp4, err := http.Get(ts.URL + "/v1/profiles/pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var pr4 ProfileResponse
+	if err := json.NewDecoder(resp4.Body).Decode(&pr4); err != nil {
+		t.Fatal(err)
+	}
+	if pr4.Runs != 3 {
+		t.Errorf("after retrain runs = %d, want 3 (local trainer)", pr4.Runs)
+	}
+}

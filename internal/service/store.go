@@ -3,7 +3,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -17,6 +16,9 @@ var (
 	errUnknownProfile = errors.New("unknown profile")
 	// errUntrained: the profile exists but has no training runs yet (409).
 	errUntrained = errors.New("profile has no training runs yet")
+	// errProfileBuild: training data was observed but building the profile
+	// (or its detector) failed — the submitted data is unprocessable (422).
+	errProfileBuild = errors.New("profile construction failed")
 )
 
 // entry is one named profile: its trainer, and the detector rebuilt from the
@@ -33,20 +35,28 @@ type entry struct {
 
 // train folds normal-condition route sets into the trainer and rebuilds the
 // detector over the refreshed profile. It returns the total training runs.
-func (e *entry) train(sets [][]routing.Route) (runs int, err error) {
+//
+// Empty input is lenient: when nothing has ever been observed (e.g. every
+// submitted set was empty), the entry simply stays untrained. A profile
+// build that fails with observations on the books is a real error and
+// propagates as errProfileBuild so the handler can answer 422 instead of
+// silently keeping a stale (or absent) detector.
+func (e *entry) train(sets [][]routing.Route) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, set := range sets {
 		e.trainer.ObserveRoutes(set)
 	}
+	runs := e.trainer.Runs()
+	if runs == 0 {
+		return 0, nil
+	}
 	p, err := e.trainer.Profile()
 	if err != nil {
-		// Nothing observed yet (e.g. every submitted set was empty): the
-		// entry stays untrained rather than failing the request outright.
-		return e.trainer.Runs(), nil
+		return runs, fmt.Errorf("%w: %v", errProfileBuild, err)
 	}
 	e.detector = sam.NewDetector(p, e.cfg)
-	return e.trainer.Runs(), nil
+	return runs, nil
 }
 
 // score evaluates already-analyzed statistics against the detector and,
@@ -67,15 +77,22 @@ func (e *entry) score(s sam.Stats, update bool) (sam.Verdict, error) {
 }
 
 // snapshot returns a race-free deep copy of the trained profile plus the
-// current adaptive feature means.
+// current adaptive feature means. The run count is the local trainer's when
+// the profile was trained here; for a profile installed via load (samserve's
+// -profiles preload) the local trainer is empty, so the count recorded in
+// the profile itself is reported instead of a misleading zero.
 func (e *entry) snapshot() (p *sam.Profile, pmaxMean, phiMean float64, runs int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.detector == nil {
 		return nil, 0, 0, e.trainer.Runs(), errUntrained
 	}
+	runs = e.trainer.Runs()
+	if runs == 0 {
+		runs = e.detector.Profile().Runs
+	}
 	pmaxMean, phiMean = e.detector.AdaptiveMeans()
-	return e.detector.Profile().Clone(), pmaxMean, phiMean, e.trainer.Runs(), nil
+	return e.detector.Profile().Clone(), pmaxMean, phiMean, runs, nil
 }
 
 // load installs an externally trained profile (e.g. a samtrain JSON file),
@@ -114,10 +131,19 @@ func newStore(shards int, cfg sam.DetectorConfig, bins int) *store {
 	return s
 }
 
+// shard hashes name with inline FNV-1a: hash/fnv's heap-allocated digest
+// state showed up in the detect hot path, and the algorithm is three lines.
 func (s *store) shard(name string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return &s.shards[int(h.Sum32())%len(s.shards)]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &s.shards[h%uint32(len(s.shards))]
 }
 
 // get returns the named entry or errUnknownProfile.
