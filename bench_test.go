@@ -60,6 +60,24 @@ func BenchmarkAdaptiveProfile(b *testing.B)      { benchArtifact(b, "adaptive") 
 func BenchmarkROCSweep(b *testing.B)             { benchArtifact(b, "roc") }
 func BenchmarkPacketDeliveryRatio(b *testing.B)  { benchArtifact(b, "pdr") }
 
+// BenchmarkSweepTable1 measures the full Table I sweep (four conditions x 10
+// runs) serially, so ns/op tracks the discovery hot path itself rather than
+// pool scheduling.
+func BenchmarkSweepTable1(b *testing.B) {
+	def, err := experiment.ByID("table1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiment.Config{Runs: 10, Seed: 2005, Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		art := def.Run(cfg)
+		if len(art.Tables) == 0 || len(art.Tables[0].Rows) == 0 {
+			b.Fatal("table1 produced no rows")
+		}
+	}
+}
+
 // discoverOnce runs one MR discovery on a 1-tier cluster with one wormhole.
 func discoverOnce(seed uint64, p routing.Protocol, worms int) *routing.Discovery {
 	net := topology.Cluster(1, 2)
@@ -71,21 +89,32 @@ func discoverOnce(seed uint64, p routing.Protocol, worms int) *routing.Discovery
 	return p.Discover(s, net.SrcPool[0], net.DstPool[len(net.DstPool)-1])
 }
 
-// BenchmarkDiscoveryMR measures one multi-path route discovery.
-func BenchmarkDiscoveryMR(b *testing.B) {
+// benchDiscovery measures steady-state route discovery — the shape the
+// experiment harness runs it in: topology and scenario built once, the
+// network Reset and re-armed per run (see sim.Network.Reset).
+func benchDiscovery(b *testing.B, p routing.Protocol) {
+	net := topology.Cluster(1, 2)
+	sc := attack.NewScenario(net, 1, attack.Forward)
+	defer sc.Teardown()
+	src, dst := net.SrcPool[0], net.DstPool[len(net.DstPool)-1]
+	s := sim.NewNetwork(net.Topo, sim.Config{Seed: 1})
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		discoverOnce(uint64(i+1), &mr.Protocol{}, 1)
+		s.Reset(uint64(i + 1))
+		sc.Arm(s)
+		d := p.Discover(s, src, dst)
+		if len(d.Routes) == 0 {
+			b.Fatal("no routes")
+		}
 	}
 }
 
+// BenchmarkDiscoveryMR measures one multi-path route discovery.
+func BenchmarkDiscoveryMR(b *testing.B) { benchDiscovery(b, &mr.Protocol{}) }
+
 // BenchmarkDiscoveryDSR measures one DSR route discovery.
-func BenchmarkDiscoveryDSR(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		discoverOnce(uint64(i+1), &dsr.Protocol{}, 1)
-	}
-}
+func BenchmarkDiscoveryDSR(b *testing.B) { benchDiscovery(b, &dsr.Protocol{}) }
 
 // BenchmarkAnalyze measures SAM's statistical analysis of one route set.
 func BenchmarkAnalyze(b *testing.B) {

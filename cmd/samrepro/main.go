@@ -5,6 +5,7 @@
 //
 //	samrepro [-exp all|tables|figures|extensions|<id>]
 //	         [-runs N] [-seed S] [-parallel P] [-csv] [-o dir]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // Runs fan out over a worker pool (-parallel, default all cores); output is
 // bitwise-identical for every parallelism level, including -parallel 1,
@@ -24,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"samnet/internal/cli"
 	"samnet/internal/experiment"
 )
 
@@ -37,6 +39,8 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.md (or .csv)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -46,6 +50,13 @@ func main() {
 		}
 		return
 	}
+
+	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	pool := *parallel
 	if pool == 0 {

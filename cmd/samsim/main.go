@@ -7,7 +7,7 @@
 //	samsim [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
 //	       [-wormholes 0|1|2] [-behavior forward|blackhole|greyhole]
 //	       [-protocol mr|smr|dsr] [-seed S] [-profile file.json] [-v]
-//	       [-runs N] [-parallel P]
+//	       [-runs N] [-parallel P] [-cpuprofile file] [-memprofile file]
 //
 // With -runs N > 1, samsim runs N independent discoveries of the same
 // condition on a worker pool (-parallel, default all cores) and prints one
@@ -45,8 +45,16 @@ func main() {
 		showMap   = flag.Bool("map", false, "render an ASCII map with the first route overlaid (single-run mode)")
 		runsN     = flag.Int("runs", 1, "independent discoveries of this condition")
 		parallel  = flag.Int("parallel", 0, "worker pool size with -runs > 1 (0 = all cores, 1 = serial)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	var beh attack.PayloadBehavior
 	switch *behavior {
@@ -159,6 +167,20 @@ type batchConfig struct {
 	parallel  int
 }
 
+// simScratch is one worker's reusable simulation network (see
+// sim.Network.Retarget); sharing it across the runs a worker happens to
+// execute cannot perturb results.
+type simScratch struct{ net *sim.Network }
+
+func (s *simScratch) network(topo *topology.Topology, cfg sim.Config) *sim.Network {
+	if s.net == nil {
+		s.net = sim.NewNetwork(topo, cfg)
+	} else {
+		s.net.Retarget(topo, cfg)
+	}
+	return s.net
+}
+
 // batchOut is the result of one run of the batch grid. Fields are written by
 // exactly one worker (the run's own) and read only after the pool drains.
 type batchOut struct {
@@ -195,7 +217,11 @@ func runBatch(cfg batchConfig) {
 	}
 	label := fmt.Sprintf("samsim/%s-%dtier/%s/w%d", cfg.topo, cfg.tier, proto.Name(), cfg.wormholes)
 
-	outs := runner.Map(cfg.parallel, cfg.runs, func(run int) batchOut {
+	// Each worker reuses one simulation network across its runs; Retarget is
+	// behaviourally indistinguishable from a fresh NewNetwork, so the report
+	// stays bitwise-identical for every -parallel level.
+	newScratch := func() *simScratch { return new(simScratch) }
+	outs := runner.MapWorker(cfg.parallel, cfg.runs, newScratch, func(run int, scratch *simScratch) batchOut {
 		seedR := runner.DeriveSeed(cfg.seed, label, run)
 		net, err := cli.BuildTopology(cfg.topo, cfg.tier, seedR)
 		if err != nil {
@@ -207,7 +233,7 @@ func runBatch(cfg batchConfig) {
 			defer sc.Teardown()
 		}
 		src, dst := net.PickPair(rand.New(rand.NewPCG(seedR, 77)))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: seedR})
+		simNet := scratch.network(net.Topo, sim.Config{Seed: seedR})
 		if sc != nil {
 			sc.Arm(simNet)
 		}

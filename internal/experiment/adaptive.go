@@ -40,11 +40,15 @@ func Adaptive(cfg Config) *trace.Artifact {
 	}, topoRNG(cfg.Seed+1, 0))
 	model.Pin(pair[0], pair[1])
 
+	// The whole experiment is serial (profiles fold in step order), so one
+	// cached network serves every discovery.
+	cache := newSimCache()
+
 	// Train both detectors on the initial topology.
 	trainer := sam.NewTrainer("adaptive", 0)
 	for run := 0; run < 20; run++ {
 		src, dst := net.PickPair(pairRNG(cfg.Seed+2, run))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "adaptive/train", run)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "adaptive/train", run)})
 		trainer.ObserveRoutes(mrProtocol().Discover(simNet, src, dst).Routes)
 	}
 	profile, err := trainer.Profile()
@@ -57,7 +61,7 @@ func Adaptive(cfg Config) *trace.Artifact {
 	step := 0
 	discover := func(label string) []sam.Stats {
 		src, dst := net.PickPair(pairRNG(cfg.Seed+3, step))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "adaptive/"+label, step)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "adaptive/"+label, step)})
 		d := mrProtocol().Discover(simNet, src, dst)
 		if len(d.Routes) == 0 {
 			return nil

@@ -36,20 +36,20 @@ func Blackhole(cfg Config) *trace.Artifact {
 	type bhOut struct {
 		fabricated, probeExposed, allGenuine bool
 	}
-	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) bhOut {
+	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) bhOut {
 		net := topology.Uniform(6, 6, 1, 1)
 		mal := net.Attackers()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
 
 		// Cached DSR under the early-reply attacker.
-		sCD := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/cdsr", run)})
+		sCD := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/cdsr", run)})
 		dCD := (&cdsr.Protocol{Malicious: mal}).Discover(sCD, src, dst)
 		fabricated := len(dCD.Routes) > 0 && !dCD.Routes[0].Valid(net.Topo)
 
 		// SAM step 2: probe the captured route; the attacker cannot deliver.
 		probeExposed := false
 		if fabricated {
-			pNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/probe", run)})
+			pNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/probe", run)})
 			pNet.SetDropFunc(func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
 				switch pkt.(type) {
 				case *routing.Data, *routing.ACK:
@@ -62,7 +62,7 @@ func Blackhole(cfg Config) *trace.Artifact {
 		}
 
 		// MR on the same pair: every collected route is a real traversal.
-		sMR := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/mr", run)})
+		sMR := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "blackhole/mr", run)})
 		dMR := (&mr.Protocol{}).Discover(sMR, src, dst)
 		allGenuine := len(dMR.Routes) > 0
 		for _, r := range dMR.Routes {

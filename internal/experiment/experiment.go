@@ -104,15 +104,40 @@ type RunResult struct {
 	TunnelLinks []topology.Link
 }
 
+// simCache is one worker's reusable simulation state: a Network whose
+// allocations (event queue, per-node slices) survive across the runs that
+// worker executes. network() hands out the cached network retargeted onto
+// the run's topology and config — behaviourally indistinguishable from a
+// fresh sim.NewNetwork (see sim.Network.Retarget), so sharing it across
+// whichever cells land on one worker cannot perturb results. A nil cache
+// degrades to plain NewNetwork.
+type simCache struct {
+	net *sim.Network
+}
+
+func newSimCache() *simCache { return &simCache{} }
+
+func (c *simCache) network(topo *topology.Topology, cfg sim.Config) *sim.Network {
+	if c == nil {
+		return sim.NewNetwork(topo, cfg)
+	}
+	if c.net == nil {
+		c.net = sim.NewNetwork(topo, cfg)
+	} else {
+		c.net.Retarget(topo, cfg)
+	}
+	return c.net
+}
+
 // runOne executes one run of a condition.
-func runOne(cfg Config, cond Condition, run int) RunResult {
+func runOne(cfg Config, cond Condition, run int, sc1 *simCache) RunResult {
 	net := cond.Build(cfg, run)
 	var sc *attack.Scenario
 	if cond.Wormholes > 0 {
 		sc = attack.NewScenario(net, cond.Wormholes, cond.Behavior)
 	}
 	src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
+	simNet := sc1.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
 	if sc != nil {
 		sc.Arm(simNet)
 	}
@@ -149,8 +174,8 @@ func runOne(cfg Config, cond Condition, run int) RunResult {
 // returns the results in run order.
 func RunCondition(cfg Config, cond Condition) []RunResult {
 	cfg = cfg.withDefaults()
-	return runner.Map(cfg.Workers, cfg.Runs, func(i int) RunResult {
-		return runOne(cfg, cond, i)
+	return runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(i int, sc *simCache) RunResult {
+		return runOne(cfg, cond, i, sc)
 	})
 }
 
@@ -160,8 +185,8 @@ func RunCondition(cfg Config, cond Condition) []RunResult {
 // The output is identical to calling RunCondition per condition.
 func RunConditions(cfg Config, conds []Condition) [][]RunResult {
 	cfg = cfg.withDefaults()
-	return runner.MapGrid(cfg.Workers, len(conds), cfg.Runs, func(c, i int) RunResult {
-		return runOne(cfg, conds[c], i)
+	return runner.MapGridWorker(cfg.Workers, len(conds), cfg.Runs, newSimCache, func(c, i int, sc *simCache) RunResult {
+		return runOne(cfg, conds[c], i, sc)
 	})
 }
 

@@ -74,10 +74,10 @@ func Detection(cfg Config) *trace.Artifact {
 		}
 		evalRuns := func(cond Condition, attacked bool) (confirmed, localized int, lambdaSum float64) {
 			results := RunCondition(cfg, cond)
-			outs := runner.Map(cfg.Workers, len(results), func(i int) evalOut {
+			outs := runner.MapWorker(cfg.Workers, len(results), newSimCache, func(i int, cache *simCache) evalOut {
 				r := results[i]
 				det := sam.NewDetector(profile, sam.DetectorConfig{})
-				pipe := sam.NewPipeline(det, proberFor(cfg, cond, r), nil, sam.PipelineConfig{})
+				pipe := sam.NewPipeline(det, proberFor(cfg, cond, r, cache), nil, sam.PipelineConfig{})
 				out := pipe.Process(r.Routes)
 				eo := evalOut{lambda: out.Verdict.Lambda}
 				if out.Report != nil && out.Report.Confirmed {
@@ -124,16 +124,17 @@ func Detection(cfg Config) *trace.Artifact {
 }
 
 // proberFor builds a simulation-backed prober that replays the run's
-// scenario: a fresh network with the same topology, wormholes armed with the
-// same payload behaviour, probing by source routing.
-func proberFor(cfg Config, cond Condition, r RunResult) sam.Prober {
+// scenario: a network with the same topology (drawn from the worker's
+// cache), wormholes armed with the same payload behaviour, probing by
+// source routing.
+func proberFor(cfg Config, cond Condition, r RunResult, cache *simCache) sam.Prober {
 	return sam.ProberFunc(func(routes []routing.Route) []routing.ProbeResult {
 		net := cond.Build(cfg, r.Run)
 		var sc *attack.Scenario
 		if cond.Wormholes > 0 {
 			sc = attack.NewScenario(net, cond.Wormholes, cond.Behavior)
 		}
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label+"/probe", r.Run)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label+"/probe", r.Run)})
 		if sc != nil {
 			sc.Arm(simNet)
 			defer sc.Teardown()
@@ -165,12 +166,12 @@ func LeashCompare(cfg Config) *trace.Artifact {
 		leashHit, sectorHit, samHit bool
 		pmax                        float64
 	}
-	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) leashOut {
+	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) leashOut {
 		net := cond.Build(cfg, run)
 		sc := attack.NewScenario(net, cond.Wormholes, cond.Behavior)
 		defer sc.Teardown()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, cond.Label, run)})
 		checker := leash.New(net.Topo, leash.Config{}, simNet.Rand())
 		tally := checker.Monitor(simNet, nil)
 		disc := cond.Protocol().Discover(simNet, src, dst)

@@ -96,11 +96,11 @@ func Rushing(cfg Config) *trace.Artifact {
 		pmax  float64
 		onMax bool
 	}
-	rows := runner.Map(cfg.Workers, cfg.Runs, func(run int) rushOut {
+	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) rushOut {
 		net := topology.Cluster(1, 2)
 		sc := attack.NewRushingScenario(net, 1, 0.3, attack.Forward)
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "rushing", run)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "rushing", run)})
 		sc.Arm(simNet)
 		disc := mrProtocol().Discover(simNet, src, dst)
 		st := sam.Analyze(disc.Routes)
@@ -131,7 +131,7 @@ func Loss(cfg Config) *trace.Artifact {
 		localized      bool
 	}
 	// One flattened (loss rate x run) grid; sums fold serially per row.
-	grid := runner.MapGrid(cfg.Workers, len(losses), cfg.Runs, func(li, run int) lossOut {
+	grid := runner.MapGridWorker(cfg.Workers, len(losses), cfg.Runs, newSimCache, func(li, run int, cache *simCache) lossOut {
 		loss := losses[li]
 
 		// Attacked run.
@@ -139,7 +139,7 @@ func Loss(cfg Config) *trace.Artifact {
 		sc := attack.NewScenario(net, 1, attack.Forward)
 		defer sc.Teardown()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
-		simNet := sim.NewNetwork(net.Topo, sim.Config{
+		simNet := cache.network(net.Topo, sim.Config{
 			Seed: deriveSeed(cfg.Seed, "loss/attack", run), LossRate: loss,
 		})
 		disc := mrProtocol().Discover(simNet, src, dst)
@@ -152,7 +152,7 @@ func Loss(cfg Config) *trace.Artifact {
 
 		// Paired normal run at the same loss rate.
 		netN := topology.Cluster(1, 2)
-		simN := sim.NewNetwork(netN.Topo, sim.Config{
+		simN := cache.network(netN.Topo, sim.Config{
 			Seed: deriveSeed(cfg.Seed, "loss/normal", run), LossRate: loss,
 		})
 		discN := mrProtocol().Discover(simN, src, dst)
@@ -194,7 +194,7 @@ func Mobility(cfg Config) *trace.Artifact {
 		pa, pn    float64
 		localized bool
 	}
-	mobGrid := runner.MapGrid(cfg.Workers, len(drifts), cfg.Runs, func(di, run int) mobOut {
+	mobGrid := runner.MapGridWorker(cfg.Workers, len(drifts), cfg.Runs, newSimCache, func(di, run int, cache *simCache) mobOut {
 		net := topology.Random(topology.RandomConfig{Wormholes: 1}, topoRNG(cfg.Seed, run))
 		model := mobility.New(net.Topo, mobility.Config{
 			Arena: geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15)),
@@ -205,11 +205,11 @@ func Mobility(cfg Config) *trace.Artifact {
 
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
 		sc := attack.NewScenario(net, 1, attack.Forward)
-		simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/attack", run)})
+		simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/attack", run)})
 		disc := mrProtocol().Discover(simNet, src, dst)
 		sc.Teardown()
 
-		simN := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/normal", run)})
+		simN := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "mobility/normal", run)})
 		discN := mrProtocol().Discover(simN, src, dst)
 
 		if len(disc.Routes) == 0 || len(discN.Routes) == 0 {

@@ -54,14 +54,14 @@ func PDR(cfg Config) *trace.Artifact {
 	type pdrOut struct {
 		sent, delivered [3]int
 	}
-	outs := runner.Map(cfg.Workers, cfg.Runs, func(run int) pdrOut {
+	outs := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) pdrOut {
 		var tally pdrOut
 		net := topology.Cluster(1, 2)
 		sc := attack.NewScenario(net, 1, attack.Blackhole)
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
 
 		// Attacked discovery: the routes an oblivious source would get.
-		discNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/disc", run)})
+		discNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/disc", run)})
 		sc.Arm(discNet)
 		disc := mrProtocol().Discover(discNet, src, dst)
 
@@ -71,7 +71,7 @@ func PDR(cfg Config) *trace.Artifact {
 				tally.sent[regime] += packetsPerRun // nothing usable: all lost
 				return
 			}
-			pNet := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/send", run)})
+			pNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/send", run)})
 			policy := sc.Arm(pNet)
 			if excluded != nil {
 				inner := policy.Func(pNet.Rand())
@@ -99,7 +99,7 @@ func PDR(cfg Config) *trace.Artifact {
 		pipe := sam.NewPipeline(det, proberFor(cfg, Condition{
 			Label: "pdr/probe", Build: buildCluster(1), Wormholes: 1,
 			Protocol: mrProtocol, Behavior: attack.Blackhole,
-		}, RunResult{Run: run}), nil, sam.PipelineConfig{})
+		}, RunResult{Run: run}, cache), nil, sam.PipelineConfig{})
 		out := pipe.Process(disc.Routes)
 		send(1, out.SelectedRoutes, nil)
 
@@ -109,7 +109,7 @@ func PDR(cfg Config) *trace.Artifact {
 			excluded[out.Report.Suspects[0]] = true
 			excluded[out.Report.Suspects[1]] = true
 		}
-		redisc := sim.NewNetwork(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/redisc", run)})
+		redisc := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, "pdr/redisc", run)})
 		redisc.SetDropFunc(func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
 			return excluded[from] || excluded[to]
 		})

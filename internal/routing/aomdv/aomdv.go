@@ -19,7 +19,7 @@
 package aomdv
 
 import (
-	"sort"
+	"slices"
 
 	"samnet/internal/routing"
 	"samnet/internal/sim"
@@ -245,6 +245,6 @@ func SortedNodes(tables map[topology.NodeID]*Table) []topology.NodeID {
 	for id := range tables {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

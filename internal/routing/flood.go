@@ -1,8 +1,8 @@
 package routing
 
 import (
-	"sort"
-	"sync/atomic"
+	"slices"
+	"sync"
 
 	"samnet/internal/sim"
 	"samnet/internal/topology"
@@ -12,17 +12,58 @@ import (
 // rules consult: the hop count and incoming link of the first copy received,
 // and how many copies the node has forwarded in total and per incoming link.
 type NodeState struct {
-	Seen          bool
-	FirstHops     int
-	FirstFrom     topology.NodeID
-	Forwarded     int
-	ForwardedFrom map[topology.NodeID]int
+	Seen      bool
+	FirstHops int
+	FirstFrom topology.NodeID
+	Forwarded int
+
+	// Per-incoming-link forward counts, as parallel slices: a node has a
+	// handful of neighbors, so a linear scan beats a map and the slices
+	// recycle across pooled discoveries.
+	fromIDs    []topology.NodeID
+	fromCounts []int
+
+	// gen tags which discovery last touched this entry; state is stored in
+	// a dense generation-tagged slice, so starting a discovery is O(1)
+	// instead of clearing (or reallocating) a map.
+	gen uint64
 }
 
 // ForwardsFrom returns how many copies arriving via neighbor from this node
 // has already forwarded.
 func (st *NodeState) ForwardsFrom(from topology.NodeID) int {
-	return st.ForwardedFrom[from]
+	for i, id := range st.fromIDs {
+		if id == from {
+			return st.fromCounts[i]
+		}
+	}
+	return 0
+}
+
+// AddForward records one forwarded copy that arrived via from. The flood
+// framework calls it on every forward; tests build states with it.
+func (st *NodeState) AddForward(from topology.NodeID) {
+	st.Forwarded++
+	for i, id := range st.fromIDs {
+		if id == from {
+			st.fromCounts[i]++
+			return
+		}
+	}
+	st.fromIDs = append(st.fromIDs, from)
+	st.fromCounts = append(st.fromCounts, 1)
+}
+
+// reset clears the state in place for a new discovery, keeping slice
+// capacity.
+func (st *NodeState) reset(gen uint64) {
+	st.Seen = false
+	st.FirstHops = 0
+	st.FirstFrom = 0
+	st.Forwarded = 0
+	st.fromIDs = st.fromIDs[:0]
+	st.fromCounts = st.fromCounts[:0]
+	st.gen = gen
 }
 
 // ForwardRule decides whether node self forwards an RREQ copy that arrived
@@ -67,31 +108,144 @@ type FloodConfig struct {
 	SuppressReplies bool
 }
 
-type arrival struct {
-	route Route
-	at    sim.Time
+// pathArena stores every RREQ path of one discovery as a parent-linked
+// forest: entry i appends one node to the path ending at its parent entry,
+// so all copies share common prefixes and forwarding costs O(1) bookkeeping
+// instead of an O(hops) clone. Routes materialize as node slices only for
+// the arrivals that survive the destination's filters.
+type pathArena struct {
+	node   []topology.NodeID
+	parent []int32
+	hops   []int32 // hop count of the path ending at this entry
 }
 
-// floodRun is the Handler shared by every node during one discovery.
+func (a *pathArena) reset() {
+	a.node = a.node[:0]
+	a.parent = a.parent[:0]
+	a.hops = a.hops[:0]
+}
+
+// push appends node to the path ending at parent (-1 starts a path) and
+// returns the new entry's ref.
+func (a *pathArena) push(parent int32, node topology.NodeID) int32 {
+	var h int32
+	if parent >= 0 {
+		h = a.hops[parent] + 1
+	}
+	a.node = append(a.node, node)
+	a.parent = append(a.parent, parent)
+	a.hops = append(a.hops, h)
+	return int32(len(a.node) - 1)
+}
+
+// contains reports whether the path ending at ref traverses id.
+func (a *pathArena) contains(ref int32, id topology.NodeID) bool {
+	for i := ref; i >= 0; i = a.parent[i] {
+		if a.node[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// samePath reports whether refs p and q denote identical node sequences.
+// Paths converge once they share an entry, so the walk short-circuits on
+// shared prefixes.
+func (a *pathArena) samePath(p, q int32) bool {
+	if a.hops[p] != a.hops[q] {
+		return false
+	}
+	for p != q {
+		if a.node[p] != a.node[q] {
+			return false
+		}
+		p, q = a.parent[p], a.parent[q]
+	}
+	return true
+}
+
+// appendPath writes the path ending at ref onto dst, source first.
+func (a *pathArena) appendPath(dst Route, ref int32) Route {
+	start := len(dst)
+	for i := ref; i >= 0; i = a.parent[i] {
+		dst = append(dst, a.node[i])
+	}
+	slices.Reverse(dst[start:])
+	return dst
+}
+
+// rreqChunk sizes the RREQ arena's allocation unit.
+const rreqChunk = 64
+
+// rreqArena hands out RREQ structs in fixed chunks so their addresses stay
+// stable while the arena grows — queued deliveries hold *RREQ across pushes.
+type rreqArena struct {
+	chunks [][]RREQ
+	ci     int // chunk being filled
+	used   int // entries used in chunks[ci]
+}
+
+func (a *rreqArena) reset() { a.ci, a.used = 0, 0 }
+
+func (a *rreqArena) get() *RREQ {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]RREQ, rreqChunk))
+	}
+	q := &a.chunks[a.ci][a.used]
+	a.used++
+	if a.used == rreqChunk {
+		a.ci++
+		a.used = 0
+	}
+	return q
+}
+
+type arrival struct {
+	ref int32 // arena entry of the full route (destination included)
+	at  sim.Time
+}
+
+// floodRun is the Handler shared by every node during one discovery. Runs
+// are pooled: all scratch (arena, per-node state, arrival list) survives
+// into the next discovery, so a steady-state discovery's flood phase does
+// not allocate.
 type floodRun struct {
 	cfg   FloodConfig
 	reqID uint64
 	src   topology.NodeID
 	dst   topology.NodeID
 
-	state    map[topology.NodeID]*NodeState
+	gen      uint64
+	state    []NodeState // dense, indexed by NodeID, generation-tagged
+	arena    pathArena
+	rreqs    rreqArena
 	arrivals []arrival
+	kept     []int32 // collectRoutes scratch: surviving arrival refs
 	replies  []Route // RREPs that made it back to the source
 }
 
-// reqCounter issues request ids. Atomic: experiment sweeps run discoveries
-// on parallel workers, each with its own network but sharing this counter.
-var reqCounter atomic.Uint64
+var floodPool = sync.Pool{New: func() any { return new(floodRun) }}
+
+func (f *floodRun) begin(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) {
+	f.cfg = cfg
+	f.reqID = net.NextID()
+	f.src, f.dst = src, dst
+	f.gen++
+	if n := net.Topology().N(); n > len(f.state) {
+		f.state = make([]NodeState, n)
+	}
+	f.arena.reset()
+	f.rreqs.reset()
+	f.arrivals = f.arrivals[:0]
+	f.kept = f.kept[:0]
+	f.replies = f.replies[:0]
+}
 
 // RunDiscovery floods one route request from src to dst over net using the
 // given rule set, runs the simulation until the flood (and reply phase)
-// completes, and returns the Discovery. It installs handlers on every node;
-// callers wanting a pristine network should pass a fresh one.
+// completes, and returns the Discovery. It installs handlers on every node
+// for the duration and clears them before returning; callers wanting a
+// pristine network should pass a fresh (or Reset) one.
 func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *Discovery {
 	if cfg.MaxReplies == 0 {
 		cfg.MaxReplies = 2
@@ -99,18 +253,13 @@ func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *
 	if src == dst {
 		panic("routing: src == dst")
 	}
-	run := &floodRun{
-		cfg:   cfg,
-		reqID: reqCounter.Add(1),
-		src:   src,
-		dst:   dst,
-		state: make(map[topology.NodeID]*NodeState),
-	}
+	run := floodPool.Get().(*floodRun)
+	run.begin(net, src, dst, cfg)
 	net.SetAllHandlers(run)
 
-	net.Schedule(0, func() {
-		net.Broadcast(src, &RREQ{ReqID: run.reqID, Src: src, Dst: dst, Path: Route{src}})
-	})
+	q := run.rreqs.get()
+	*q = RREQ{ReqID: run.reqID, Src: src, Dst: dst, arena: &run.arena, ref: run.arena.push(-1, src)}
+	net.Broadcast(src, q)
 	net.Run()
 
 	d := &Discovery{Protocol: cfg.Name, Src: src, Dst: dst}
@@ -129,21 +278,24 @@ func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *
 			toReply = SelectDisjoint(routes, cfg.MaxReplies)
 		}
 		for _, r := range toReply {
-			r := r
-			net.Schedule(0, func() {
-				sendRREP(net, run.reqID, r)
-			})
+			sendRREP(net, run.reqID, r)
 		}
 		net.Run()
-		d.Replies = run.replies
+		d.Replies = append([]Route(nil), run.replies...)
 	}
 
 	d.TxTotal, d.RxTotal = net.TotalTraffic()
+	// The run goes back to the pool; nothing it owns may leak into the
+	// Discovery (routes and replies are materialized copies) or stay
+	// installed on the network.
+	net.SetAllHandlers(nil)
+	floodPool.Put(run)
 	return d
 }
 
 // collectRoutes dedups arrivals and applies the wait window and hop slack,
-// preserving arrival order.
+// preserving arrival order, then materializes the survivors out of the
+// arena into one backing slice.
 func (f *floodRun) collectRoutes() []Route {
 	if len(f.arrivals) == 0 {
 		return nil
@@ -152,17 +304,42 @@ func (f *floodRun) collectRoutes() []Route {
 	if f.cfg.WaitWindow > 0 {
 		cutoff = f.arrivals[0].at + f.cfg.WaitWindow
 	}
-	maxHops := int(^uint(0) >> 1)
+	maxHops := int32(^uint32(0) >> 1)
 	if f.cfg.HopSlack >= 0 {
-		maxHops = f.arrivals[0].route.Hops() + f.cfg.HopSlack
+		maxHops = f.arena.hops[f.arrivals[0].ref] + int32(f.cfg.HopSlack)
 	}
-	var routes []Route
+	f.kept = f.kept[:0]
+	total := 0
 	for _, a := range f.arrivals {
-		if a.at <= cutoff && a.route.Hops() <= maxHops {
-			routes = append(routes, a.route)
+		if a.at > cutoff || f.arena.hops[a.ref] > maxHops {
+			continue
 		}
+		dup := false
+		for _, k := range f.kept {
+			if f.arena.samePath(k, a.ref) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		f.kept = append(f.kept, a.ref)
+		total += int(f.arena.hops[a.ref]) + 1
 	}
-	return DedupRoutes(routes)
+	if len(f.kept) == 0 {
+		return nil
+	}
+	backing := make(Route, 0, total)
+	routes := make([]Route, len(f.kept))
+	for i, ref := range f.kept {
+		start := len(backing)
+		backing = f.arena.appendPath(backing, ref)
+		// Full slice expressions cap each route at its own end, so an
+		// append by a caller reallocates instead of clobbering a sibling.
+		routes[i] = backing[start:len(backing):len(backing)]
+	}
+	return routes
 }
 
 func sendRREP(net *sim.Network, reqID uint64, route Route) {
@@ -187,22 +364,34 @@ func (f *floodRun) Recv(net *sim.Network, self, from topology.NodeID, pkt sim.Pa
 	}
 }
 
+// refFor returns q's path as an entry of f's arena, importing an explicit
+// Path if the request came from outside the framework.
+func (f *floodRun) refFor(q *RREQ) int32 {
+	if q.arena == &f.arena {
+		return q.ref
+	}
+	ref := int32(-1)
+	for _, id := range q.Path {
+		ref = f.arena.push(ref, id)
+	}
+	return ref
+}
+
 func (f *floodRun) recvRREQ(net *sim.Network, self, from topology.NodeID, q *RREQ) {
 	if q.ReqID != f.reqID || self == f.src {
 		return
 	}
 	if self == f.dst {
-		route := append(q.Path.Clone(), self)
-		f.arrivals = append(f.arrivals, arrival{route: route, at: net.Now()})
+		ref := f.arena.push(f.refFor(q), self)
+		f.arrivals = append(f.arrivals, arrival{ref: ref, at: net.Now()})
 		return
 	}
-	if q.Path.Contains(self) {
+	if q.PathContains(self) {
 		return // loop: this copy already traversed us
 	}
-	st := f.state[self]
-	if st == nil {
-		st = &NodeState{}
-		f.state[self] = st
+	st := &f.state[self]
+	if st.gen != f.gen {
+		st.reset(f.gen)
 	}
 	forward := f.cfg.Rule(self, from, q, st)
 	if forward && f.cfg.MaxForwards > 0 && st.Forwarded >= f.cfg.MaxForwards {
@@ -214,17 +403,9 @@ func (f *floodRun) recvRREQ(net *sim.Network, self, from topology.NodeID, q *RRE
 		st.FirstFrom = from
 	}
 	if forward {
-		st.Forwarded++
-		if st.ForwardedFrom == nil {
-			st.ForwardedFrom = make(map[topology.NodeID]int)
-		}
-		st.ForwardedFrom[from]++
-		fwd := &RREQ{
-			ReqID: q.ReqID,
-			Src:   q.Src,
-			Dst:   q.Dst,
-			Path:  append(q.Path.Clone(), self),
-		}
+		st.AddForward(from)
+		fwd := f.rreqs.get()
+		*fwd = RREQ{ReqID: q.ReqID, Src: q.Src, Dst: q.Dst, arena: &f.arena, ref: f.arena.push(f.refFor(q), self)}
 		net.Broadcast(self, fwd)
 	}
 }
@@ -238,13 +419,16 @@ func (f *floodRun) recvRREP(net *sim.Network, self topology.NodeID, p *RREP) {
 		f.replies = append(f.replies, p.Route)
 		return
 	}
-	next := &RREP{ReqID: p.ReqID, Route: p.Route, Pos: p.Pos - 1}
-	net.Unicast(self, p.Route[p.Pos-1], next)
+	// Relay in place: the RREP has exactly one holder at a time, so
+	// advancing Pos on the same packet saves an allocation per hop.
+	p.Pos--
+	net.Unicast(self, p.Route[p.Pos], p)
 }
 
 // RelayData forwards a source-routed Data packet one hop, or emits the ACK
 // when it has reached the final hop. Exported so probe-only handlers can
-// reuse it.
+// reuse it. The packet is relayed in place (Pos advances on the same
+// struct); handlers must not retain it across deliveries.
 func RelayData(net *sim.Network, self topology.NodeID, p *Data) {
 	if p.Route[p.Pos] != self {
 		return
@@ -257,18 +441,19 @@ func RelayData(net *sim.Network, self topology.NodeID, p *Data) {
 		}
 		return
 	}
-	next := &Data{SeqNo: p.SeqNo, Route: p.Route, Pos: p.Pos + 1}
-	net.Unicast(self, p.Route[p.Pos+1], next)
+	p.Pos++
+	net.Unicast(self, p.Route[p.Pos], p)
 }
 
-// RelayACK walks an ACK backwards along its route. When it reaches index 0
-// the source has its acknowledgement; AckSink handlers observe that.
+// RelayACK walks an ACK backwards along its route, in place. When it
+// reaches index 0 the source has its acknowledgement; AckSink handlers
+// observe that.
 func RelayACK(net *sim.Network, self topology.NodeID, p *ACK) {
 	if p.Route[p.Pos] != self || p.Pos == 0 {
 		return
 	}
-	next := &ACK{SeqNo: p.SeqNo, Route: p.Route, Pos: p.Pos - 1}
-	net.Unicast(self, p.Route[p.Pos-1], next)
+	p.Pos--
+	net.Unicast(self, p.Route[p.Pos], p)
 }
 
 // ProbeResult reports one source-routed probe: whether the data packet's
@@ -301,10 +486,7 @@ func ProbeRoutes(net *sim.Network, routes []Route) []ProbeResult {
 		if len(r) < 2 {
 			continue
 		}
-		seq, r := uint64(i+1), r
-		net.Schedule(0, func() {
-			net.Unicast(r[0], r[1], &Data{SeqNo: seq, Route: r.Clone(), Pos: 1})
-		})
+		net.Unicast(r[0], r[1], &Data{SeqNo: uint64(i + 1), Route: r.Clone(), Pos: 1})
 	}
 	net.Run()
 	out := make([]ProbeResult, len(routes))
@@ -316,5 +498,5 @@ func ProbeRoutes(net *sim.Network, routes []Route) []ProbeResult {
 
 // SortRoutesByHops orders routes by increasing hop count, stable.
 func SortRoutesByHops(routes []Route) {
-	sort.SliceStable(routes, func(i, j int) bool { return routes[i].Hops() < routes[j].Hops() })
+	slices.SortStableFunc(routes, func(a, b Route) int { return a.Hops() - b.Hops() })
 }

@@ -249,6 +249,136 @@ func TestWaitWindowTruncatesCollection(t *testing.T) {
 	}
 }
 
+func TestWaitWindowLargeKeepsEverything(t *testing.T) {
+	topo := gridTopo(5, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 4, 3)
+	run := func(window sim.Time) *Discovery {
+		return RunDiscovery(sim.NewNetwork(topo, sim.Config{Seed: 6}), src, dst,
+			FloodConfig{Name: "t", Rule: forwardAll, MaxForwards: 6, HopSlack: -1,
+				WaitWindow: window, SuppressReplies: true})
+	}
+	full, wide := run(0), run(1e6)
+	if len(full.Routes) != len(wide.Routes) {
+		t.Fatalf("wide window kept %d routes, no window kept %d", len(wide.Routes), len(full.Routes))
+	}
+	for i := range full.Routes {
+		if !full.Routes[i].Equal(wide.Routes[i]) {
+			t.Errorf("route %d differs: %v vs %v", i, wide.Routes[i], full.Routes[i])
+		}
+	}
+}
+
+// TestHopSlackSpectrum pins the three HopSlack regimes: zero keeps only
+// routes as short as the first arrival, positive admits bounded detours,
+// negative disables the filter entirely.
+func TestHopSlackSpectrum(t *testing.T) {
+	topo := gridTopo(4, 3)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 3, 2)
+	run := func(slack int) *Discovery {
+		return RunDiscovery(sim.NewNetwork(topo, sim.Config{Seed: 11}), src, dst,
+			FloodConfig{Name: "t", Rule: forwardAll, HopSlack: slack, SuppressReplies: true})
+	}
+	zero, one, off := run(0), run(1), run(-1)
+	first := zero.Routes[0].Hops() // jitter < HopDelay, so the first arrival is min-hop
+	for _, r := range zero.Routes {
+		if r.Hops() != first {
+			t.Errorf("slack 0 admitted a %d-hop route (first %d)", r.Hops(), first)
+		}
+	}
+	for _, r := range one.Routes {
+		if r.Hops() > first+1 {
+			t.Errorf("slack 1 admitted a %d-hop route (first %d)", r.Hops(), first)
+		}
+	}
+	if len(zero.Routes) > len(one.Routes) || len(one.Routes) > len(off.Routes) {
+		t.Errorf("route counts not monotone in slack: %d / %d / %d",
+			len(zero.Routes), len(one.Routes), len(off.Routes))
+	}
+	if len(off.Routes) <= len(zero.Routes) {
+		t.Errorf("disabling the filter should admit longer routes: off=%d zero=%d",
+			len(off.Routes), len(zero.Routes))
+	}
+}
+
+// TestMaxForwardsCapOverridesRule pins the cap/rule interaction: the rule is
+// consulted on every non-loop copy, but the cap has the final word, so an
+// always-forward rule with MaxForwards 1 floods exactly like DSR's
+// first-copy-only rule.
+func TestMaxForwardsCapOverridesRule(t *testing.T) {
+	topo := gridTopo(5, 4)
+	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 4, 3)
+	calls := 0
+	counting := func(self, from topology.NodeID, q *RREQ, st *NodeState) bool {
+		calls++
+		return true
+	}
+	netA := sim.NewNetwork(topo, sim.Config{Seed: 13})
+	a := RunDiscovery(netA, src, dst, FloodConfig{Name: "t", Rule: counting, MaxForwards: 1, SuppressReplies: true})
+	netB := sim.NewNetwork(topo, sim.Config{Seed: 13})
+	b := RunDiscovery(netB, src, dst, FloodConfig{Name: "t", Rule: forwardFirst, SuppressReplies: true})
+	if a.Overhead() != b.Overhead() {
+		t.Errorf("capped forward-all overhead %d != first-copy rule overhead %d", a.Overhead(), b.Overhead())
+	}
+	forwards := 0
+	for i := 0; i < topo.N(); i++ {
+		id := topology.NodeID(i)
+		if id == src {
+			continue
+		}
+		if got := netA.TxCount(id); got > 1 {
+			t.Errorf("node %d transmitted %d times past the cap", id, got)
+		}
+		forwards += int(netA.TxCount(id))
+	}
+	if calls <= forwards {
+		t.Errorf("rule consulted %d times for %d forwards; duplicates must still be offered to the rule", calls, forwards)
+	}
+}
+
+// TestProbeRoutesSharedIntermediate probes two routes that cross the same
+// middle node; per-sequence bookkeeping must keep their ACKs apart.
+func TestProbeRoutesSharedIntermediate(t *testing.T) {
+	topo := gridTopo(5, 3)
+	src, dst := nodeAt(topo, 0, 1), nodeAt(topo, 4, 1)
+	shared := nodeAt(topo, 2, 1)
+	a := Route{src, nodeAt(topo, 1, 1), shared, nodeAt(topo, 3, 1), dst}
+	b := Route{src, nodeAt(topo, 0, 0), nodeAt(topo, 1, 0), nodeAt(topo, 2, 0), shared,
+		nodeAt(topo, 2, 2), nodeAt(topo, 3, 2), nodeAt(topo, 4, 2), dst}
+	for _, r := range []Route{a, b} {
+		if !r.Valid(topo) {
+			t.Fatalf("test route invalid: %v", r)
+		}
+	}
+	net := sim.NewNetwork(topo, sim.Config{Seed: 21})
+	res := ProbeRoutes(net, []Route{a, b})
+	for i, r := range res {
+		if !r.Acked {
+			t.Errorf("probe %d through shared node %d not acked", i, shared)
+		}
+	}
+	// A blackhole on the long route's private segment must not leak into the
+	// short route's verdict even though they share a relay.
+	net2 := sim.NewNetwork(topo, sim.Config{Seed: 21})
+	hole := nodeAt(topo, 3, 2)
+	net2.SetDropFunc(func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
+		if to != hole {
+			return false
+		}
+		switch pkt.(type) {
+		case *Data, *ACK:
+			return true
+		}
+		return false
+	})
+	res2 := ProbeRoutes(net2, []Route{a, b})
+	if !res2[0].Acked {
+		t.Error("clean route through the shared node must stay acked")
+	}
+	if res2[1].Acked {
+		t.Error("route through the blackhole must not be acked")
+	}
+}
+
 func TestArrivalTimesOrdered(t *testing.T) {
 	topo := gridTopo(6, 4)
 	src, dst := nodeAt(topo, 0, 0), nodeAt(topo, 5, 3)

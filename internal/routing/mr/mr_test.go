@@ -109,10 +109,10 @@ func TestSMRRequiresDifferentIncomingLink(t *testing.T) {
 
 func TestPerLinkCapRule(t *testing.T) {
 	p := &Protocol{PerLink: 1}
-	st := &routing.NodeState{
-		Seen: true, FirstHops: 3, FirstFrom: 7,
-		ForwardedFrom: map[topology.NodeID]int{7: 2, 8: 1},
-	}
+	st := &routing.NodeState{Seen: true, FirstHops: 3, FirstFrom: 7}
+	st.AddForward(7)
+	st.AddForward(7)
+	st.AddForward(8)
 	dup := &routing.RREQ{Path: routing.Route{0, 1, 2}}
 	// Link 7 is the first link: one extra slot beyond the first copy -> cap
 	// 2, already used.

@@ -126,15 +126,38 @@ func (r Route) String() string {
 // RREQ is a route request flooded from Src toward Dst. Path accumulates the
 // nodes traversed so far, Src first; its length minus one is the hop count
 // the paper's forwarding rules compare.
+//
+// Requests issued by the flood framework (RunDiscovery) do not carry an
+// explicit Path: they reference a per-discovery path arena that shares
+// prefixes between copies, and Path stays nil. Use Hops and PathContains —
+// which understand both representations — rather than reading Path directly
+// when a request may originate from the framework. Protocols that flood
+// their own requests (cdsr, aomdv) still populate Path explicitly.
 type RREQ struct {
 	ReqID uint64
 	Src   topology.NodeID
 	Dst   topology.NodeID
 	Path  Route
+
+	arena *pathArena
+	ref   int32
 }
 
 // Hops returns the hop count of the request so far.
-func (q *RREQ) Hops() int { return q.Path.Hops() }
+func (q *RREQ) Hops() int {
+	if q.arena != nil {
+		return int(q.arena.hops[q.ref])
+	}
+	return q.Path.Hops()
+}
+
+// PathContains reports whether the request's path so far traverses id.
+func (q *RREQ) PathContains(id topology.NodeID) bool {
+	if q.arena != nil {
+		return q.arena.contains(q.ref, id)
+	}
+	return q.Path.Contains(id)
+}
 
 // RREP carries a discovered route back toward the source. Pos is the index
 // (into Route) of the node currently holding the reply; it decreases as the

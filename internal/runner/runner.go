@@ -36,17 +36,34 @@ import (
 // runs inline with no goroutines at all. A panic in any fn is re-raised on
 // the caller's goroutine after the remaining workers drain.
 func Map[T any](parallel, n int, fn func(i int) T) []T {
-	if n <= 0 {
-		return nil
-	}
-	out := make([]T, n)
-	ForEach(parallel, n, func(i int) { out[i] = fn(i) })
-	return out
+	return MapWorker(parallel, n, noScratch, func(i int, _ struct{}) T { return fn(i) })
 }
 
 // ForEach is Map without collected results: fn(0..n-1) over the pool, same
 // determinism contract (fn must write only to state its index owns).
 func ForEach(parallel, n int, fn func(i int)) {
+	ForEachWorker(parallel, n, noScratch, func(i int, _ struct{}) { fn(i) })
+}
+
+func noScratch() struct{} { return struct{}{} }
+
+// MapWorker is Map with per-worker scratch: newScratch runs once per worker
+// goroutine (once in total when the pool is inline) and its value is passed
+// to every fn call that worker executes. Scratch must be semantically inert
+// — reusable buffers, pooled networks — because which cells share a scratch
+// depends on scheduling; results must be bitwise-independent of it. The
+// determinism contract is otherwise unchanged.
+func MapWorker[T, S any](parallel, n int, newScratch func() S, fn func(i int, scratch S) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEachWorker(parallel, n, newScratch, func(i int, s S) { out[i] = fn(i, s) })
+	return out
+}
+
+// ForEachWorker is ForEach with per-worker scratch (see MapWorker).
+func ForEachWorker[S any](parallel, n int, newScratch func() S, fn func(i int, scratch S)) {
 	if n <= 0 {
 		return
 	}
@@ -57,8 +74,9 @@ func ForEach(parallel, n int, fn func(i int)) {
 		parallel = n
 	}
 	if parallel == 1 {
+		s := newScratch()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, s)
 		}
 		return
 	}
@@ -72,6 +90,7 @@ func ForEach(parallel, n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := newScratch()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -86,7 +105,7 @@ func ForEach(parallel, n int, fn func(i int)) {
 							cursor.Store(int64(n))
 						}
 					}()
-					fn(i)
+					fn(i, s)
 				}()
 			}
 		}()
@@ -102,11 +121,18 @@ func ForEach(parallel, n int, fn func(i int)) {
 // serializes behind the others), and returns results as [outer][inner]T in
 // grid order.
 func MapGrid[T any](parallel, outer, inner int, fn func(o, i int) T) [][]T {
+	return MapGridWorker(parallel, outer, inner, noScratch, func(o, i int, _ struct{}) T {
+		return fn(o, i)
+	})
+}
+
+// MapGridWorker is MapGrid with per-worker scratch (see MapWorker).
+func MapGridWorker[T, S any](parallel, outer, inner int, newScratch func() S, fn func(o, i int, scratch S) T) [][]T {
 	if outer <= 0 || inner <= 0 {
 		return nil
 	}
-	flat := Map(parallel, outer*inner, func(k int) T {
-		return fn(k/inner, k%inner)
+	flat := MapWorker(parallel, outer*inner, newScratch, func(k int, s S) T {
+		return fn(k/inner, k%inner, s)
 	})
 	out := make([][]T, outer)
 	for o := range out {

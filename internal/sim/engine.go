@@ -10,8 +10,9 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
+
+	"samnet/internal/topology"
 )
 
 // Time is virtual simulation time. One unit is one nominal hop transmission
@@ -21,37 +22,34 @@ type Time float64
 // Forever is a time later than any event a simulation schedules.
 const Forever Time = Time(math.MaxFloat64)
 
+// event is one queue entry. The hot path — packet delivery — is a concrete
+// struct dispatched by the engine itself (fn == nil), so delivering a packet
+// allocates nothing. Schedule'd callbacks ride the same queue with fn set.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at   Time
+	seq  uint64
+	fn   func() // slow path: scheduled callback; nil for deliveries
+	pkt  Packet
+	from topology.NodeID
+	to   topology.NodeID
 }
 
 // Engine is the event loop. The zero value is ready to use.
+//
+// The queue is a hand-rolled 4-ary min-heap of concrete events rather than
+// container/heap: no interface boxing per push/pop, and the shallower tree
+// roughly halves the sift depth for the flood-sized queues discovery builds.
+// Heap order is (at, seq); since every event's (at, seq) key is unique, pop
+// order — and therefore every simulation output — is independent of arity.
 type Engine struct {
-	pq        eventHeap
+	pq        []event
 	now       Time
 	seq       uint64
 	processed uint64
+
+	// net is set when the engine is embedded in a Network; fn == nil events
+	// are deliveries dispatched to it.
+	net *Network
 }
 
 // Now returns the current virtual time.
@@ -70,7 +68,84 @@ func (e *Engine) Schedule(d Time, fn func()) {
 		panic("sim: negative delay")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + d, seq: e.seq, fn: fn})
+	e.push(event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// scheduleDelivery enqueues a packet reception without boxing or closures.
+func (e *Engine) scheduleDelivery(d Time, from, to topology.NodeID, pkt Packet) {
+	e.seq++
+	e.push(event{at: e.now + d, seq: e.seq, pkt: pkt, from: from, to: to})
+}
+
+// reset rewinds the engine to its zero state, keeping the queue's capacity.
+func (e *Engine) reset() {
+	for i := range e.pq {
+		e.pq[i] = event{}
+	}
+	e.pq = e.pq[:0]
+	e.now, e.seq, e.processed = 0, 0, 0
+}
+
+func (ev *event) less(other *event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.pq[i].less(&e.pq[parent]) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // release fn/pkt references
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.pq[c].less(&e.pq[min]) {
+				min = c
+			}
+		}
+		if !e.pq[min].less(&e.pq[i]) {
+			break
+		}
+		e.pq[i], e.pq[min] = e.pq[min], e.pq[i]
+		i = min
+	}
+	return top
+}
+
+// fire executes one popped event at its timestamp.
+func (e *Engine) fire(ev *event) {
+	e.now = ev.at
+	e.processed++
+	if ev.fn != nil {
+		ev.fn()
+		return
+	}
+	e.net.dispatch(ev.from, ev.to, ev.pkt)
 }
 
 // Run executes events until the queue drains and returns the final time.
@@ -81,10 +156,8 @@ func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 // the current time.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.pq) > 0 && e.pq[0].at <= deadline {
-		ev := heap.Pop(&e.pq).(event)
-		e.now = ev.at
-		e.processed++
-		ev.fn()
+		ev := e.pop()
+		e.fire(&ev)
 	}
 	if deadline != Forever && deadline > e.now {
 		e.now = deadline
@@ -98,9 +171,7 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
-	e.now = ev.at
-	e.processed++
-	ev.fn()
+	ev := e.pop()
+	e.fire(&ev)
 	return true
 }

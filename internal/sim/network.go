@@ -31,14 +31,21 @@ func (f HandlerFunc) Recv(n *Network, self, from topology.NodeID, pkt Packet) {
 // transmission is still counted; the reception is not.
 type DropFunc func(n *Network, from, to topology.NodeID, pkt Packet) bool
 
+// ExplicitZero requests a genuinely zero HopDelay or Jitter, which a literal
+// zero cannot (zero means "use the default"). Any negative value is treated
+// as zero, mirroring sam.DetectorConfig's explicit-zero convention.
+const ExplicitZero = -1
+
 // Config parameterizes a Network.
 type Config struct {
-	// HopDelay is the nominal transmission delay per hop (default 1).
+	// HopDelay is the nominal transmission delay per hop (default 1; use
+	// ExplicitZero for a zero-delay network).
 	HopDelay Time
 	// Jitter is the maximum extra uniform random delay added to each
 	// broadcast, modeling MAC contention and breaking grid symmetry
-	// (default 0.1). All receivers of one broadcast share the same jitter,
-	// as they would share one on-air transmission.
+	// (default 0.1; use ExplicitZero for a jitter-free network). All
+	// receivers of one broadcast share the same jitter, as they would share
+	// one on-air transmission.
 	Jitter float64
 	// LossRate is the probability that any single reception is lost to
 	// channel noise (independent per receiver; default 0). Lost receptions
@@ -49,13 +56,23 @@ type Config struct {
 }
 
 func (c *Config) defaults() {
-	if c.HopDelay == 0 {
+	switch {
+	case c.HopDelay == 0:
 		c.HopDelay = 1
+	case c.HopDelay < 0:
+		c.HopDelay = 0
 	}
-	if c.Jitter == 0 {
+	switch {
+	case c.Jitter == 0:
 		c.Jitter = 0.1
+	case c.Jitter < 0:
+		c.Jitter = 0
 	}
 }
+
+// simStream is the fixed PCG stream selector for simulation randomness; the
+// seed alone distinguishes runs.
+const simStream = 0x5a4d5e7b2f9c1d03
 
 // Network couples an Engine with a topology, per-node handlers and
 // transmission/reception counters.
@@ -64,6 +81,7 @@ type Network struct {
 	topo     *topology.Topology
 	handlers []Handler
 	rng      *rand.Rand
+	pcg      *rand.PCG
 	cfg      Config
 	drop     DropFunc
 
@@ -73,23 +91,87 @@ type Network struct {
 	// delayFactor scales a node's transmission delay (rushing attackers
 	// transmit "faster" by skipping MAC politeness); nil means all 1.
 	delayFactor []float64
+	// factorSpare keeps a cleared delayFactor slice across Reset so reuse
+	// cycles that re-arm attackers do not reallocate it.
+	factorSpare []float64
 
 	lost int64 // receptions destroyed by channel loss
+	ids  uint64
 }
 
 // NewNetwork builds a network over topo. Handlers default to a no-op; set
 // them with SetHandler before injecting traffic.
 func NewNetwork(topo *topology.Topology, cfg Config) *Network {
 	cfg.defaults()
+	pcg := rand.NewPCG(cfg.Seed, simStream)
 	n := &Network{
 		topo:     topo,
 		handlers: make([]Handler, topo.N()),
-		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x5a4d5e7b2f9c1d03)),
+		rng:      rand.New(pcg),
+		pcg:      pcg,
 		cfg:      cfg,
 		tx:       make([]int64, topo.N()),
 		rx:       make([]int64, topo.N()),
 	}
+	n.Engine.net = n
 	return n
+}
+
+// Reset rewinds the network to the pristine state NewNetwork(topo, cfg)
+// with the given seed would produce — clock at zero, counters zeroed,
+// handlers and drop/delay hooks cleared, RNG reseeded to the identical
+// stream — while keeping every allocation (event queue, per-node slices)
+// for reuse. It does NOT touch the topology: attacker tunnel links added to
+// the topology survive a Reset, exactly as they survive building a fresh
+// Network over the same topology.
+func (n *Network) Reset(seed uint64) {
+	n.cfg.Seed = seed
+	n.resetState()
+}
+
+// Retarget rebinds the network to a (possibly different) topology and a
+// fresh config, reusing per-node slices when the node count allows. It is
+// Reset for sweeps that rebuild their topology per run: afterwards the
+// network is indistinguishable from NewNetwork(topo, cfg).
+func (n *Network) Retarget(topo *topology.Topology, cfg Config) {
+	cfg.defaults()
+	n.topo = topo
+	n.cfg = cfg
+	if m := topo.N(); m != len(n.handlers) {
+		n.handlers = make([]Handler, m)
+		n.tx = make([]int64, m)
+		n.rx = make([]int64, m)
+		n.factorSpare = nil
+	}
+	n.resetState()
+}
+
+func (n *Network) resetState() {
+	n.Engine.reset()
+	n.pcg.Seed(n.cfg.Seed, simStream)
+	for i := range n.handlers {
+		n.handlers[i] = nil
+	}
+	for i := range n.tx {
+		n.tx[i] = 0
+		n.rx[i] = 0
+	}
+	if n.delayFactor != nil {
+		n.factorSpare = n.delayFactor
+	}
+	n.delayFactor = nil
+	n.drop = nil
+	n.lost = 0
+	n.ids = 0
+}
+
+// NextID returns a fresh nonzero identifier, unique within this network
+// since construction or the last Reset/Retarget. Route discovery uses it
+// for request ids, so packet traces depend only on the network's own
+// history, never on global or cross-worker state.
+func (n *Network) NextID() uint64 {
+	n.ids++
+	return n.ids
 }
 
 // Topology returns the underlying topology.
@@ -120,7 +202,11 @@ func (n *Network) SetDelayFactor(id topology.NodeID, f float64) {
 		panic("sim: delay factor must be positive")
 	}
 	if n.delayFactor == nil {
-		n.delayFactor = make([]float64, n.topo.N())
+		if n.factorSpare != nil && len(n.factorSpare) == n.topo.N() {
+			n.delayFactor, n.factorSpare = n.factorSpare, nil
+		} else {
+			n.delayFactor = make([]float64, n.topo.N())
+		}
 		for i := range n.delayFactor {
 			n.delayFactor[i] = 1
 		}
@@ -192,13 +278,17 @@ func (n *Network) deliver(from, to topology.NodeID, pkt Packet, delay Time) {
 		n.lost++
 		return
 	}
-	n.Schedule(delay, func() {
-		if n.drop != nil && n.drop(n, from, to, pkt) {
-			return
-		}
-		n.rx[to]++
-		if h := n.handlers[to]; h != nil {
-			h.Recv(n, to, from, pkt)
-		}
-	})
+	n.scheduleDelivery(delay, from, to, pkt)
+}
+
+// dispatch is the engine's callback for delivery events: the receive-side
+// half of deliver, at arrival time.
+func (n *Network) dispatch(from, to topology.NodeID, pkt Packet) {
+	if n.drop != nil && n.drop(n, from, to, pkt) {
+		return
+	}
+	n.rx[to]++
+	if h := n.handlers[to]; h != nil {
+		h.Recv(n, to, from, pkt)
+	}
 }
