@@ -11,30 +11,45 @@
 //	samload [-addr http://host:port] [-clients N] [-duration 5s]
 //	        [-requests N] [-batch K] [-topo cluster|uniform6x6|uniform10x6]
 //	        [-tier K] [-train N] [-corpus N] [-profile name] [-seed S]
+//	        [-log-format text|json]
 //
 // With no -addr, samload starts an in-process samserve on a loopback port
 // and benchmarks that, so `samload` alone measures the full serving path.
+//
+// Latency percentiles come from the same fixed-bucket histogram the service
+// exposes (internal/obs), so client- and server-side latency reports share
+// one definition. After the run samload scrapes the server's /metrics and
+// logs the server-side counters next to its own. The last stdout line is a
+// one-line JSON summary for CI consumption.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
-	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	samnet "samnet"
 	"samnet/internal/cli"
+	"samnet/internal/obs"
 	"samnet/internal/service"
 )
+
+// logger is the command's structured logger, set before any work begins.
+var logger = slog.Default()
 
 type corpusItem struct {
 	payload []byte // pre-marshalled request body
@@ -43,21 +58,27 @@ type corpusItem struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "server base URL (empty = start an in-process server)")
-		clients  = flag.Int("clients", 32, "concurrent client goroutines")
-		duration = flag.Duration("duration", 5*time.Second, "load duration (ignored when -requests > 0)")
-		requests = flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
-		batch    = flag.Int("batch", 1, "route sets per request (1 = /v1/detect, >1 = /v1/detect/batch)")
-		topoName = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
-		tier     = flag.Int("tier", 1, "transmission range in grid spacings")
-		train    = flag.Int("train", 30, "normal discoveries used to train the profile")
-		corpus   = flag.Int("corpus", 64, "evaluation discoveries per condition (normal and attacked)")
-		profile  = flag.String("profile", "default", "profile name to train and score against")
-		seed     = flag.Uint64("seed", 2005, "master seed")
+		addr      = flag.String("addr", "", "server base URL (empty = start an in-process server)")
+		clients   = flag.Int("clients", 32, "concurrent client goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration (ignored when -requests > 0)")
+		requests  = flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
+		batch     = flag.Int("batch", 1, "route sets per request (1 = /v1/detect, >1 = /v1/detect/batch)")
+		topoName  = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
+		tier      = flag.Int("tier", 1, "transmission range in grid spacings")
+		train     = flag.Int("train", 30, "normal discoveries used to train the profile")
+		corpus    = flag.Int("corpus", 64, "evaluation discoveries per condition (normal and attacked)")
+		profile   = flag.String("profile", "default", "profile name to train and score against")
+		seed      = flag.Uint64("seed", 2005, "master seed")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 	if *batch < 1 {
 		*batch = 1
+	}
+
+	var err error
+	if logger, err = cli.NewLogger(*logFormat); err != nil {
+		fatal(err)
 	}
 
 	base, shutdown := resolveServer(*addr)
@@ -67,17 +88,20 @@ func main() {
 		MaxIdleConnsPerHost: *clients * 2,
 	}}
 
-	fmt.Fprintf(os.Stderr, "samload: generating route sets (%s, tier %d)\n", *topoName, *tier)
+	logger.Info("generating route sets", "topo", *topoName, "tier", *tier,
+		"train", *train, "corpus", *corpus)
 	trainSets, normalSets, attackSets := generate(*topoName, *tier, *seed, *train, *corpus)
 
 	if err := trainProfile(client, base, *profile, trainSets); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "samload: trained profile %q on %d route sets\n", *profile, len(trainSets))
+	logger.Info("profile trained", "profile", *profile, "route_sets", len(trainSets))
 
 	items := buildCorpus(*profile, normalSets, attackSets, *batch)
 	res := run(client, base, items, *clients, *requests, *duration, *batch)
 	res.report(os.Stdout)
+	scrapeServerMetrics(client, base)
+	res.summaryJSON(os.Stdout)
 	if res.errors > 0 && res.ok == 0 {
 		os.Exit(1)
 	}
@@ -96,7 +120,7 @@ func resolveServer(addr string) (string, func()) {
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	go srv.Serve(ln)
-	fmt.Fprintf(os.Stderr, "samload: in-process server on %s\n", ln.Addr())
+	logger.Info("in-process server up", "addr", ln.Addr().String())
 	return "http://" + ln.Addr().String(), func() {
 		srv.Close()
 		svc.Close()
@@ -214,8 +238,8 @@ func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpus
 type result struct {
 	ok, errors, rejected int64
 	elapsed              time.Duration
-	latencies            []time.Duration
-	scored               int64 // route sets scored (ok requests * batch items)
+	latency              *obs.Histogram // shared with the service's bucket layout
+	scored               int64          // route sets scored (ok requests * batch items)
 	truePos, falsePos    int64
 	attackSeen, normSeen int64
 }
@@ -232,7 +256,9 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 	deadline := time.Now().Add(duration)
 	budget := int64(requests)
 
-	res := &result{}
+	// The histogram is written concurrently by every client (atomic bucket
+	// counters), so latency needs no per-goroutine staging or merge.
+	res := &result{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -240,7 +266,6 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var lat []time.Duration
 			var ok, errs, rejected, scored, tp, fp, atk, nrm int64
 			for {
 				idx := next.Add(1) - 1
@@ -267,7 +292,7 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 					continue
 				}
 				ok++
-				lat = append(lat, took)
+				res.latency.ObserveDuration(took)
 				for i, dec := range decisions {
 					if i >= len(item.attacks) {
 						break
@@ -288,7 +313,6 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 				}
 			}
 			mu.Lock()
-			res.latencies = append(res.latencies, lat...)
 			res.ok += ok
 			res.errors += errs
 			res.rejected += rejected
@@ -334,21 +358,32 @@ func post(client *http.Client, endpoint string, payload []byte, batch int) ([]st
 	return decisions, resp.StatusCode, nil
 }
 
+// quantile estimates the q-quantile in seconds, clamped to the observed
+// maximum (bucket interpolation can overshoot it in a sparse tail bucket).
+func (r *result) quantile(q float64) float64 {
+	v := r.latency.Quantile(q)
+	if m := r.latency.Max(); v > m {
+		v = m
+	}
+	return v
+}
+
+// quantileDur is quantile as a duration.
+func (r *result) quantileDur(q float64) time.Duration {
+	return time.Duration(r.quantile(q) * float64(time.Second))
+}
+
 func (r *result) report(w io.Writer) {
 	rps := float64(r.ok) / r.elapsed.Seconds()
 	fmt.Fprintf(w, "requests:       %d ok, %d rejected (429), %d errors in %s\n",
 		r.ok, r.rejected, r.errors, r.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "throughput:     %.0f req/s (%.0f route sets/s)\n",
 		rps, float64(r.scored)/r.elapsed.Seconds())
-	if len(r.latencies) > 0 {
-		sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
-		q := func(p float64) time.Duration {
-			i := int(p * float64(len(r.latencies)-1))
-			return r.latencies[i]
-		}
-		fmt.Fprintf(w, "latency:        p50 %s  p90 %s  p99 %s  max %s\n",
-			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-			q(0.99).Round(time.Microsecond), r.latencies[len(r.latencies)-1].Round(time.Microsecond))
+	if r.latency.Count() > 0 {
+		max := time.Duration(r.latency.Max() * float64(time.Second))
+		fmt.Fprintf(w, "latency:        p50 %s  p95 %s  p99 %s  max %s\n",
+			r.quantileDur(0.50).Round(time.Microsecond), r.quantileDur(0.95).Round(time.Microsecond),
+			r.quantileDur(0.99).Round(time.Microsecond), max.Round(time.Microsecond))
 	}
 	if r.attackSeen > 0 {
 		fmt.Fprintf(w, "detection rate: %.3f (%d/%d wormhole route sets flagged)\n",
@@ -360,7 +395,102 @@ func (r *result) report(w io.Writer) {
 	}
 }
 
+// summary is the machine-readable run record emitted as the last stdout
+// line, so CI can `tail -n 1` and parse one JSON object.
+type summary struct {
+	OK            int64   `json:"ok"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	RequestsPerS  float64 `json:"req_per_s"`
+	SetsPerS      float64 `json:"sets_per_s"`
+	P50S          float64 `json:"p50_s"`
+	P95S          float64 `json:"p95_s"`
+	P99S          float64 `json:"p99_s"`
+	MaxS          float64 `json:"max_s"`
+	DetectionRate float64 `json:"detection_rate"`
+	FalsePosRate  float64 `json:"false_positive_rate"`
+}
+
+func (r *result) summaryJSON(w io.Writer) {
+	s := summary{
+		OK:       r.ok,
+		Rejected: r.rejected,
+		Errors:   r.errors,
+		ElapsedS: r.elapsed.Seconds(),
+	}
+	if r.elapsed > 0 {
+		s.RequestsPerS = float64(r.ok) / r.elapsed.Seconds()
+		s.SetsPerS = float64(r.scored) / r.elapsed.Seconds()
+	}
+	if r.latency.Count() > 0 {
+		s.P50S = r.quantile(0.50)
+		s.P95S = r.quantile(0.95)
+		s.P99S = r.quantile(0.99)
+		s.MaxS = r.latency.Max()
+	}
+	if r.attackSeen > 0 {
+		s.DetectionRate = float64(r.truePos) / float64(r.attackSeen)
+	}
+	if r.normSeen > 0 {
+		s.FalsePosRate = float64(r.falsePos) / float64(r.normSeen)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "%s\n", blob)
+}
+
+// scrapeServerMetrics fetches the server's Prometheus exposition after the
+// run and logs the server-side view of the load: detections by decision,
+// trainings, and peak queue pressure. Missing /metrics (older or remote
+// servers) only downgrades the log, never the benchmark.
+func scrapeServerMetrics(client *http.Client, base string) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			err = fmt.Errorf("status %s", resp.Status)
+		}
+		logger.Info("server metrics unavailable", "err", err.Error())
+		return
+	}
+	defer resp.Body.Close()
+
+	// Sum each counter family over its label sets; enough structure for a
+	// one-line operational log without a real exposition parser.
+	totals := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || math.IsNaN(f) {
+			continue
+		}
+		totals[name] += f
+	}
+	logger.Info("server metrics",
+		"detections", totals["samserve_detections_total"],
+		"requests", totals["samserve_requests_total"],
+		"trainings", totals["samserve_profile_trainings_total"],
+		"decisions_recorded", totals["samserve_decisions_recorded"],
+		"latency_count", totals["samserve_request_duration_seconds_count"])
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "samload:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -5,7 +5,12 @@
 //
 //	samrepro [-exp all|tables|figures|extensions|<id>]
 //	         [-runs N] [-seed S] [-parallel P] [-csv] [-o dir]
+//	         [-progress] [-log-format text|json]
 //	         [-cpuprofile file] [-memprofile file]
+//
+// -progress reports run completion (runs/s, ETA) on stderr; it observes the
+// worker pool without influencing it, so stdout stays bitwise-identical with
+// the flag on or off.
 //
 // Runs fan out over a worker pool (-parallel, default all cores); output is
 // bitwise-identical for every parallelism level, including -parallel 1,
@@ -24,25 +29,35 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"samnet/internal/cli"
 	"samnet/internal/experiment"
+	"samnet/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id, or 'all'")
-		runs    = flag.Int("runs", 10, "simulation runs per condition")
-		seed    = flag.Uint64("seed", 2005, "master seed")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
-		workers  = flag.Int("workers", 0, "deprecated alias of -parallel")
-		csv     = flag.Bool("csv", false, "emit CSV instead of markdown")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		outDir  = flag.String("o", "", "also write each experiment to <dir>/<id>.md (or .csv)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp       = flag.String("exp", "all", "experiment id, or 'all'")
+		runs      = flag.Int("runs", 10, "simulation runs per condition")
+		seed      = flag.Uint64("seed", 2005, "master seed")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
+		workers   = flag.Int("workers", 0, "deprecated alias of -parallel")
+		csv       = flag.Bool("csv", false, "emit CSV instead of markdown")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		outDir    = flag.String("o", "", "also write each experiment to <dir>/<id>.md (or .csv)")
+		progress  = flag.Bool("progress", false, "report run progress (runs/s, ETA) on stderr")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	logger, err := cli.NewLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samrepro:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, d := range experiment.Registry {
@@ -53,7 +68,7 @@ func main() {
 
 	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 	defer stopProfiles()
@@ -93,7 +108,19 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		art := d.Run(cfg)
+		// Per-experiment progress: the hook observes run completion only
+		// (counts and wall clock), so the artifact on stdout is
+		// bitwise-identical whether or not -progress is set.
+		runCfg := cfg
+		if *progress {
+			runCfg.Progress = obs.NewProgress(os.Stderr, d.ID, 0)
+		}
+		begin := time.Now()
+		art := d.Run(runCfg)
+		if pr, ok := runCfg.Progress.(*obs.Progress); ok && pr != nil {
+			pr.Finish()
+		}
+		logger.Info("experiment complete", "id", d.ID, "elapsed", time.Since(begin).Round(time.Millisecond).String())
 		var buf strings.Builder
 		for j, t := range art.Tables {
 			if j > 0 {

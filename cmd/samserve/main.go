@@ -1,16 +1,22 @@
 // Command samserve runs the SAM wormhole-detection service: a long-running
 // HTTP/JSON API that stores trained normal-condition profiles, scores route
 // sets against them (singly or in batches over a bounded worker pool with
-// 429 backpressure), and exposes Prometheus-style metrics. It shuts down
-// gracefully on SIGINT/SIGTERM.
+// 429 backpressure), and exposes Prometheus-style metrics plus structured
+// decision records. It shuts down gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	samserve [-addr :8080] [-workers N] [-queue N] [-shards N]
+//	         [-decisions N] [-debug-addr :6060] [-log-format text|json]
 //	         [-profile name=file.json]...
 //
 // -profile preloads a samtrain-produced profile JSON under the given name
 // (repeatable), so the server can score immediately without online training.
+//
+// -debug-addr opens a second listener for runtime introspection: net/http/
+// pprof under /debug/pprof/, the metrics registry under /metrics, and recent
+// decision records under /debug/decisions — kept off the service port so the
+// scoring API can face untrusted clients while introspection stays internal.
 package main
 
 import (
@@ -19,13 +25,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"samnet/internal/cli"
 	"samnet/internal/sam"
 	"samnet/internal/service"
 )
@@ -46,35 +55,46 @@ func (p *profileFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
-		queue    = flag.Int("queue", 0, "worker queue depth (0 = default)")
-		shards   = flag.Int("shards", 0, "profile store shards (0 = default)")
-		maxBody  = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
-		profiles profileFlags
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "debug listener for pprof, metrics and decisions (empty = disabled)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		queue     = flag.Int("queue", 0, "worker queue depth (0 = default)")
+		shards    = flag.Int("shards", 0, "profile store shards (0 = default)")
+		maxBody   = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+		decisions = flag.Int("decisions", 0, "decision record buffer (0 = default 256, negative disables capture)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		profiles  profileFlags
 	)
 	flag.Var(&profiles, "profile", "preload a trained profile as name=file.json (repeatable)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		Shards:       *shards,
-		MaxBodyBytes: *maxBody,
-	})
+	logger, err := cli.NewLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samserve:", err)
+		os.Exit(2)
+	}
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Shards:         *shards,
+		MaxBodyBytes:   *maxBody,
+		DecisionBuffer: *decisions,
+	}
+	svc := service.New(cfg)
 	for _, p := range profiles {
 		blob, err := os.ReadFile(p.path)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		var prof sam.Profile
 		if err := json.Unmarshal(blob, &prof); err != nil {
-			fatal(fmt.Errorf("%s: %w", p.path, err))
+			fatal(logger, fmt.Errorf("%s: %w", p.path, err))
 		}
 		if err := svc.LoadProfile(p.name, &prof); err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
-		fmt.Fprintf(os.Stderr, "samserve: loaded profile %q from %s\n", p.name, p.path)
+		logger.Info("profile loaded", "name", p.name, "path", p.path, "runs", prof.Runs)
 	}
 
 	srv := &http.Server{
@@ -86,28 +106,68 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() {
-		fmt.Fprintf(os.Stderr, "samserve: listening on %s\n", *addr)
-		errc <- srv.ListenAndServe()
-	}()
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(svc),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr,
+			"endpoints", "/debug/pprof/ /debug/decisions /metrics")
+	}
 
+	logger.Info("starting",
+		"addr", *addr,
+		"workers", *workers, "queue", *queue, "shards", *shards,
+		"max_body", *maxBody, "decisions", *decisions,
+		"profiles", len(profiles))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	reason := "signal"
 	select {
 	case err := <-errc:
-		fatal(err)
+		fatal(logger, err)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "samserve: shutting down")
+	logger.Info("shutting down", "reason", reason)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "samserve: shutdown:", err)
+		logger.Error("shutdown incomplete", "err", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
 	}
 	svc.Close()
+	logger.Info("stopped")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "samserve:", err)
+// debugMux assembles the introspection listener: pprof's full suite, the
+// service's metrics registry, and the decision record ring.
+func debugMux(svc *service.Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", svc.Registry().Handler())
+	// The service mux already routes decision records; reuse it so both
+	// listeners serve the identical representation.
+	mux.Handle("GET /debug/decisions", svc.Handler())
+	return mux
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -7,7 +7,8 @@
 //	samsim [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
 //	       [-wormholes 0|1|2] [-behavior forward|blackhole|greyhole]
 //	       [-protocol mr|smr|dsr] [-seed S] [-profile file.json] [-v]
-//	       [-runs N] [-parallel P] [-cpuprofile file] [-memprofile file]
+//	       [-runs N] [-parallel P] [-progress] [-log-format text|json]
+//	       [-cpuprofile file] [-memprofile file]
 //
 // With -runs N > 1, samsim runs N independent discoveries of the same
 // condition on a worker pool (-parallel, default all cores) and prints one
@@ -20,17 +21,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"os"
 
 	"samnet/internal/attack"
 	"samnet/internal/cli"
+	"samnet/internal/obs"
 	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
 	"samnet/internal/viz"
 )
+
+// logger is the command's structured logger, set before any work begins.
+var logger = slog.Default()
 
 func main() {
 	var (
@@ -45,10 +51,17 @@ func main() {
 		showMap   = flag.Bool("map", false, "render an ASCII map with the first route overlaid (single-run mode)")
 		runsN     = flag.Int("runs", 1, "independent discoveries of this condition")
 		parallel  = flag.Int("parallel", 0, "worker pool size with -runs > 1 (0 = all cores, 1 = serial)")
+		progress  = flag.Bool("progress", false, "report run progress (runs/s, ETA) on stderr with -runs > 1")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	if logger, err = cli.NewLogger(*logFormat); err != nil {
+		fatal(err)
+	}
 
 	stopProfiles, err := cli.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -72,7 +85,7 @@ func main() {
 		runBatch(batchConfig{
 			topo: *topoName, tier: *tier, wormholes: *wormholes, behavior: beh,
 			protocol: *protoName, seed: *seed, profile: *profile,
-			runs: *runsN, parallel: *parallel,
+			runs: *runsN, parallel: *parallel, progress: *progress,
 		})
 		return
 	}
@@ -109,6 +122,8 @@ func main() {
 		}
 	}
 	fmt.Printf("\nroutes: %d   overhead (tx+rx): %d\n", len(disc.Routes), disc.Overhead())
+	tx, rx := simNet.TotalTraffic()
+	fmt.Printf("traffic: tx=%d rx=%d dropped=%d lost=%d\n", tx, rx, simNet.Dropped(), simNet.Lost())
 	if *verbose {
 		for _, r := range disc.Routes {
 			fmt.Println("  ", r)
@@ -165,6 +180,7 @@ type batchConfig struct {
 	profile   string
 	runs      int
 	parallel  int
+	progress  bool
 }
 
 // simScratch is one worker's reusable simulation network (see
@@ -191,6 +207,9 @@ type batchOut struct {
 	stats    sam.Stats
 	affected float64 // fraction of routes crossing a tunnel
 	verdict  *sam.Verdict
+	tx, rx   int64 // simulator traffic totals for this run
+	dropped  int64 // malicious payload drops (black/grey hole)
+	lost     int64 // channel loss
 }
 
 // runBatch executes cfg.runs independent discoveries of the same condition
@@ -217,11 +236,19 @@ func runBatch(cfg batchConfig) {
 	}
 	label := fmt.Sprintf("samsim/%s-%dtier/%s/w%d", cfg.topo, cfg.tier, proto.Name(), cfg.wormholes)
 
+	// The progress hook observes run completion only; stdout is identical
+	// with or without it.
+	var pr *obs.Progress
+	if cfg.progress {
+		pr = obs.NewProgress(os.Stderr, "samsim", 0)
+	}
+
 	// Each worker reuses one simulation network across its runs; Retarget is
-	// behaviourally indistinguishable from a fresh NewNetwork, so the report
-	// stays bitwise-identical for every -parallel level.
+	// behaviourally indistinguishable from a fresh NewNetwork (it zeroes the
+	// traffic counters too), so the report stays bitwise-identical for every
+	// -parallel level.
 	newScratch := func() *simScratch { return new(simScratch) }
-	outs := runner.MapWorker(cfg.parallel, cfg.runs, newScratch, func(run int, scratch *simScratch) batchOut {
+	outs := runner.MapWorkerProgress(cfg.parallel, cfg.runs, pr, newScratch, func(run int, scratch *simScratch) batchOut {
 		seedR := runner.DeriveSeed(cfg.seed, label, run)
 		net, err := cli.BuildTopology(cfg.topo, cfg.tier, seedR)
 		if err != nil {
@@ -244,6 +271,9 @@ func runBatch(cfg batchConfig) {
 			overhead: disc.Overhead(),
 			stats:    sam.Analyze(disc.Routes),
 		}
+		o.tx, o.rx = simNet.TotalTraffic()
+		o.dropped = simNet.Dropped()
+		o.lost = simNet.Lost()
 		if sc != nil {
 			for _, l := range sc.TunnelLinks() {
 				if a := disc.AffectedBy(l); a > o.affected {
@@ -260,14 +290,16 @@ func runBatch(cfg batchConfig) {
 		}
 		return o
 	})
+	pr.Finish()
 
 	fmt.Printf("condition %s, %d runs, master seed %d\n\n", label, cfg.runs, cfg.seed)
 	fmt.Printf("%4s %5s %5s %9s %8s %8s %8s  %s\n",
 		"run", "src", "dst", "routes", "p_max", "phi", "affected", verdictHeader(det))
 	var (
-		sumPMax, sumPhi, sumAff float64
-		totalRoutes             int
-		flagged                 int
+		sumPMax, sumPhi, sumAff    float64
+		totalRoutes                int
+		flagged                    int
+		totTx, totRx, totDr, totLo int64
 	)
 	for run, o := range outs {
 		if o.err != nil {
@@ -286,10 +318,15 @@ func runBatch(cfg batchConfig) {
 		sumPhi += o.stats.Phi
 		sumAff += o.affected
 		totalRoutes += o.routes
+		totTx += o.tx
+		totRx += o.rx
+		totDr += o.dropped
+		totLo += o.lost
 	}
 	n := float64(len(outs))
 	fmt.Printf("\nmean p_max = %.4f   mean phi = %.4f   mean affected = %.0f%%   routes/run = %.1f\n",
 		sumPMax/n, sumPhi/n, sumAff/n*100, float64(totalRoutes)/n)
+	fmt.Printf("traffic totals: tx=%d rx=%d dropped=%d lost=%d\n", totTx, totRx, totDr, totLo)
 	if det != nil {
 		fmt.Printf("flagged (suspicious or attacked): %d/%d\n", flagged, len(outs))
 	}
@@ -303,6 +340,6 @@ func verdictHeader(det *sam.Detector) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "samsim:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

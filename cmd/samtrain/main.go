@@ -6,7 +6,7 @@
 //
 //	samtrain [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
 //	         [-protocol mr|smr|dsr] [-runs N] [-parallel P] [-seed S]
-//	         [-o profile.json]
+//	         [-o profile.json] [-progress] [-log-format text|json]
 //
 // Discoveries run on a worker pool (-parallel, default all cores) but every
 // run's randomness is derived from its run index, and results fold into the
@@ -18,15 +18,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"os"
 
 	"samnet/internal/cli"
+	"samnet/internal/obs"
 	"samnet/internal/routing"
 	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 )
+
+// logger is the command's structured logger, set before any work begins.
+var logger = slog.Default()
 
 func main() {
 	var (
@@ -37,8 +42,15 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
 		seed      = flag.Uint64("seed", 2005, "master seed")
 		out       = flag.String("o", "", "output file (default stdout)")
+		progress  = flag.Bool("progress", false, "report run progress (runs/s, ETA) on stderr")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	if logger, err = cli.NewLogger(*logFormat); err != nil {
+		fatal(err)
+	}
 
 	proto, err := cli.BuildProtocol(*protoName)
 	if err != nil {
@@ -46,14 +58,24 @@ func main() {
 	}
 
 	label := fmt.Sprintf("%s-%dtier/%s", *topoName, *tier, proto.Name())
+	logger.Info("training", "label", label, "runs", *runs, "seed", *seed)
+
+	// The runner announces the run count via Start, so the tracker begins
+	// with an empty total.
+	var pr *obs.Progress
+	if *progress {
+		pr = obs.NewProgress(os.Stderr, "samtrain", 0)
+	}
 
 	type discOut struct {
 		routes []routing.Route
 		err    error
 	}
 	// Each run's seeds depend only on the run index, never on which worker
-	// executes it; the trainer fold below is serial and in run order.
-	outs := runner.Map(*parallel, *runs, func(run int) discOut {
+	// executes it; the trainer fold below is serial and in run order. The
+	// progress hook observes completion counts only, so it cannot perturb
+	// the emitted profile.
+	outs := runner.MapProgress(*parallel, *runs, pr, func(run int) discOut {
 		net, err := cli.BuildTopology(*topoName, *tier, *seed+uint64(run))
 		if err != nil {
 			return discOut{err: err}
@@ -65,6 +87,7 @@ func main() {
 		return discOut{routes: d.Routes}
 	})
 
+	pr.Finish()
 	trainer := sam.NewTrainer(label, 0)
 	for _, o := range outs {
 		if o.err != nil {
@@ -87,11 +110,11 @@ func main() {
 	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "samtrain: trained %q on %d runs (pmax %s | phi %s)\n",
-		label, trainer.Runs(), profile.PMax, profile.Phi)
+	logger.Info("trained", "label", label, "runs", trainer.Runs(),
+		"pmax", profile.PMax.String(), "phi", profile.Phi.String())
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "samtrain:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

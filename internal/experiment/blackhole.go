@@ -36,7 +36,7 @@ func Blackhole(cfg Config) *trace.Artifact {
 	type bhOut struct {
 		fabricated, probeExposed, allGenuine bool
 	}
-	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) bhOut {
+	rows := runner.MapWorkerProgress(cfg.Workers, cfg.Runs, cfg.Progress, newSimCache, func(run int, cache *simCache) bhOut {
 		net := topology.Uniform(6, 6, 1, 1)
 		mal := net.Attackers()
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))

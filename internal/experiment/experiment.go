@@ -37,6 +37,11 @@ type Config struct {
 	Seed uint64
 	// Workers bounds run-level parallelism (default NumCPU).
 	Workers int
+	// Progress, when non-nil, observes run completion for telemetry (run
+	// counts and wall-clock only — see runner.Progress). It cannot influence
+	// results: seeds derive from grid coordinates and results merge in grid
+	// order regardless of the hook.
+	Progress runner.Progress
 }
 
 func (c Config) withDefaults() Config {
@@ -174,7 +179,7 @@ func runOne(cfg Config, cond Condition, run int, sc1 *simCache) RunResult {
 // returns the results in run order.
 func RunCondition(cfg Config, cond Condition) []RunResult {
 	cfg = cfg.withDefaults()
-	return runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(i int, sc *simCache) RunResult {
+	return runner.MapWorkerProgress(cfg.Workers, cfg.Runs, cfg.Progress, newSimCache, func(i int, sc *simCache) RunResult {
 		return runOne(cfg, cond, i, sc)
 	})
 }
@@ -185,7 +190,7 @@ func RunCondition(cfg Config, cond Condition) []RunResult {
 // The output is identical to calling RunCondition per condition.
 func RunConditions(cfg Config, conds []Condition) [][]RunResult {
 	cfg = cfg.withDefaults()
-	return runner.MapGridWorker(cfg.Workers, len(conds), cfg.Runs, newSimCache, func(c, i int, sc *simCache) RunResult {
+	return runner.MapGridWorkerProgress(cfg.Workers, len(conds), cfg.Runs, cfg.Progress, newSimCache, func(c, i int, sc *simCache) RunResult {
 		return runOne(cfg, conds[c], i, sc)
 	})
 }

@@ -74,7 +74,7 @@ func Detection(cfg Config) *trace.Artifact {
 		}
 		evalRuns := func(cond Condition, attacked bool) (confirmed, localized int, lambdaSum float64) {
 			results := RunCondition(cfg, cond)
-			outs := runner.MapWorker(cfg.Workers, len(results), newSimCache, func(i int, cache *simCache) evalOut {
+			outs := runner.MapWorkerProgress(cfg.Workers, len(results), cfg.Progress, newSimCache, func(i int, cache *simCache) evalOut {
 				r := results[i]
 				det := sam.NewDetector(profile, sam.DetectorConfig{})
 				pipe := sam.NewPipeline(det, proberFor(cfg, cond, r, cache), nil, sam.PipelineConfig{})
@@ -166,7 +166,7 @@ func LeashCompare(cfg Config) *trace.Artifact {
 		leashHit, sectorHit, samHit bool
 		pmax                        float64
 	}
-	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) leashOut {
+	rows := runner.MapWorkerProgress(cfg.Workers, cfg.Runs, cfg.Progress, newSimCache, func(run int, cache *simCache) leashOut {
 		net := cond.Build(cfg, run)
 		sc := attack.NewScenario(net, cond.Wormholes, cond.Behavior)
 		defer sc.Teardown()

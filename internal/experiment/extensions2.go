@@ -96,7 +96,7 @@ func Rushing(cfg Config) *trace.Artifact {
 		pmax  float64
 		onMax bool
 	}
-	rows := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) rushOut {
+	rows := runner.MapWorkerProgress(cfg.Workers, cfg.Runs, cfg.Progress, newSimCache, func(run int, cache *simCache) rushOut {
 		net := topology.Cluster(1, 2)
 		sc := attack.NewRushingScenario(net, 1, 0.3, attack.Forward)
 		src, dst := net.PickPair(pairRNG(cfg.Seed, run))
@@ -131,7 +131,7 @@ func Loss(cfg Config) *trace.Artifact {
 		localized      bool
 	}
 	// One flattened (loss rate x run) grid; sums fold serially per row.
-	grid := runner.MapGridWorker(cfg.Workers, len(losses), cfg.Runs, newSimCache, func(li, run int, cache *simCache) lossOut {
+	grid := runner.MapGridWorkerProgress(cfg.Workers, len(losses), cfg.Runs, cfg.Progress, newSimCache, func(li, run int, cache *simCache) lossOut {
 		loss := losses[li]
 
 		// Attacked run.
@@ -194,7 +194,7 @@ func Mobility(cfg Config) *trace.Artifact {
 		pa, pn    float64
 		localized bool
 	}
-	mobGrid := runner.MapGridWorker(cfg.Workers, len(drifts), cfg.Runs, newSimCache, func(di, run int, cache *simCache) mobOut {
+	mobGrid := runner.MapGridWorkerProgress(cfg.Workers, len(drifts), cfg.Runs, cfg.Progress, newSimCache, func(di, run int, cache *simCache) mobOut {
 		net := topology.Random(topology.RandomConfig{Wormholes: 1}, topoRNG(cfg.Seed, run))
 		model := mobility.New(net.Topo, mobility.Config{
 			Arena: geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15)),

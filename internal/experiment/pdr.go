@@ -54,7 +54,7 @@ func PDR(cfg Config) *trace.Artifact {
 	type pdrOut struct {
 		sent, delivered [3]int
 	}
-	outs := runner.MapWorker(cfg.Workers, cfg.Runs, newSimCache, func(run int, cache *simCache) pdrOut {
+	outs := runner.MapWorkerProgress(cfg.Workers, cfg.Runs, cfg.Progress, newSimCache, func(run int, cache *simCache) pdrOut {
 		var tally pdrOut
 		net := topology.Cluster(1, 2)
 		sc := attack.NewScenario(net, 1, attack.Blackhole)

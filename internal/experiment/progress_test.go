@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"io"
+	"testing"
+
+	"samnet/internal/obs"
+)
+
+// TestTelemetryPreservesDeterminism is the observability hard constraint
+// pinned at the experiment layer: attaching a progress hook must not change a
+// single byte of any artifact, because the hook observes scheduling and
+// nothing else. A representative experiment of each porting pattern runs with
+// and without telemetry at parallelism > 1.
+func TestTelemetryPreservesDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "fig15", "detection", "loss", "pdr"} {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			base := Config{Runs: 4, Seed: 2005, Workers: 4}
+			want := serialize(d.Run(base))
+
+			withHook := base
+			withHook.Progress = obs.NewProgress(io.Discard, id, 0)
+			if got := serialize(d.Run(withHook)); got != want {
+				t.Errorf("progress hook changed the artifact:\n%s\n--- vs ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestProgressSeesEveryRun: the experiment harness reports each completed run
+// to the hook, across Map and MapGrid call patterns.
+func TestProgressSeesEveryRun(t *testing.T) {
+	pr := obs.NewProgress(io.Discard, "test", 0)
+	d, err := ByID("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(Config{Runs: 3, Seed: 2005, Workers: 2, Progress: pr})
+	if pr.Done() == 0 {
+		t.Error("progress hook saw no completed runs")
+	}
+}

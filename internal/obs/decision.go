@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// DecisionLink is one link in a decision record's frequency table: an
+// undirected link with its occurrence count and relative frequency.
+type DecisionLink struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	Count int     `json:"count,omitempty"`
+	P     float64 `json:"p,omitempty"`
+}
+
+// Decision is one explainable SAM verdict: everything the destination used
+// to judge a route set, flattened into plain types so the record can travel
+// through JSON (the /detect "explain" field, GET /debug/decisions) without
+// dragging in the detector's internal types.
+//
+// The schema mirrors the paper's §IV decision procedure: the per-link
+// frequency table the statistics are computed from, both feature statistics
+// (as raw values and as z-scores against the trained profile) next to the
+// thresholds that turn them into risk, the PMF total-variation distance, the
+// localized (accused) link, and the soft decision lambda with its verdict
+// partition.
+type Decision struct {
+	// Seq is the record's position in the emitting ring, assigned at
+	// Record time; strictly increasing within one ring.
+	Seq uint64 `json:"seq"`
+	// Profile names the trained profile the route set was scored against.
+	Profile string `json:"profile,omitempty"`
+
+	// Routes is |R|, N the total non-distinct link count across R.
+	Routes int `json:"routes"`
+	N      int `json:"n"`
+	// Links is the per-link frequency table, most frequent first.
+	Links []DecisionLink `json:"links,omitempty"`
+
+	// PMax and Phi are the observed feature statistics; ZPMax and ZPhi
+	// their deviations from the trained means in trained standard
+	// deviations; TV the PMF total-variation distance.
+	PMax  float64 `json:"p_max"`
+	Phi   float64 `json:"phi"`
+	TV    float64 `json:"tv"`
+	ZPMax float64 `json:"z_pmax"`
+	ZPhi  float64 `json:"z_phi"`
+
+	// The detector thresholds the statistics were judged against: z-score
+	// and TV risk ramps, and the lambda partition.
+	ZLow          float64 `json:"z_low"`
+	ZHigh         float64 `json:"z_high"`
+	TVLow         float64 `json:"tv_low"`
+	TVHigh        float64 `json:"tv_high"`
+	SuspectLambda float64 `json:"suspect_lambda"`
+	AttackLambda  float64 `json:"attack_lambda"`
+
+	// Suspect is the localized link — under attack, the tunnel — and
+	// Lambda/Decision the soft and hard verdicts.
+	Suspect  DecisionLink `json:"suspect"`
+	Lambda   float64      `json:"lambda"`
+	Decision string       `json:"decision"`
+}
+
+// DecisionRing retains the most recent decision records in a fixed-size
+// lock-free ring. Writers claim a slot with one atomic increment and publish
+// the record with one atomic pointer store; readers snapshot without
+// blocking writers. Capture hides behind an atomic enabled flag so a
+// disabled ring costs one branch and zero allocations on the detect hot
+// path.
+//
+// A nil *DecisionRing is valid and permanently disabled, so callers can
+// thread "maybe telemetry" without nil checks.
+type DecisionRing struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	slots   []atomic.Pointer[Decision]
+}
+
+// NewDecisionRing builds a ring retaining the last size records, enabled.
+// size < 1 is clamped to 1.
+func NewDecisionRing(size int) *DecisionRing {
+	if size < 1 {
+		size = 1
+	}
+	r := &DecisionRing{slots: make([]atomic.Pointer[Decision], size)}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enabled reports whether Record currently captures. Nil-safe (false).
+func (r *DecisionRing) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles capture. Nil-safe (no-op).
+func (r *DecisionRing) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Cap returns the ring capacity. Nil-safe (0).
+func (r *DecisionRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Recorded returns how many records have ever been accepted. Nil-safe (0).
+func (r *DecisionRing) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Len returns how many records a Snapshot would currently return. Nil-safe.
+func (r *DecisionRing) Len() int {
+	n := r.Recorded()
+	if c := uint64(r.Cap()); n > c {
+		n = c
+	}
+	return int(n)
+}
+
+// Record captures d (assigning its Seq) unless the ring is disabled or nil.
+// Callers on hot paths should guard record construction with Enabled so the
+// disabled case stays allocation-free:
+//
+//	if ring.Enabled() {
+//	    ring.Record(buildDecision(...))
+//	}
+func (r *DecisionRing) Record(d Decision) {
+	if !r.Enabled() {
+		return
+	}
+	d.Seq = r.seq.Add(1)
+	r.slots[(d.Seq-1)%uint64(len(r.slots))].Store(&d)
+}
+
+// Snapshot returns a copy of the retained records, oldest first. Concurrent
+// Records may or may not be included; each returned record is internally
+// consistent because publication is a single pointer store.
+func (r *DecisionRing) Snapshot() []Decision {
+	if r == nil {
+		return nil
+	}
+	out := make([]Decision, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	// Slot order is ring order, not age order; sort by the global sequence.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress aggregates run completions from a parallel sweep into a
+// throttled, human-readable status line: runs completed, runs per second,
+// and (once a total is known) percent done and an ETA. It implements the
+// runner package's progress hook.
+//
+// Progress is safe for concurrent use and deliberately side-effect-free
+// beyond its writer: it reads the wall clock and counts completions, so
+// attaching one cannot perturb simulation randomness or event order. A nil
+// *Progress is valid and inert.
+type Progress struct {
+	w     io.Writer
+	label string
+	every time.Duration
+
+	start time.Time
+	total atomic.Int64
+	done  atomic.Int64
+	last  atomic.Int64 // wall nanos of the last emitted line
+
+	mu sync.Mutex // serializes writes to w
+}
+
+// NewProgress builds a tracker writing to w (typically stderr) under the
+// given label. total may be 0 when the sweep size is unknown up front;
+// Start calls accumulate into it. Lines are emitted at most every 500ms.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	p := &Progress{w: w, label: label, every: 500 * time.Millisecond, start: time.Now()}
+	p.total.Store(int64(total))
+	return p
+}
+
+// Start announces n upcoming runs, accumulating into the expected total.
+// The runner pool calls it once per parallel invocation, so multi-phase
+// experiments grow their ETA denominator as phases are scheduled. Nil-safe.
+func (p *Progress) Start(n int) {
+	if p != nil {
+		p.total.Add(int64(n))
+	}
+}
+
+// RunDone records one completed run and emits a status line when the
+// throttle interval has passed. Nil-safe.
+func (p *Progress) RunDone() {
+	if p == nil {
+		return
+	}
+	p.done.Add(1)
+	now := time.Now().UnixNano()
+	last := p.last.Load()
+	if now-last < int64(p.every) || !p.last.CompareAndSwap(last, now) {
+		return
+	}
+	p.emit()
+}
+
+// Finish emits a final summary line. Call it once after the sweep drains.
+// Nil-safe.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.emit()
+}
+
+// Done returns the number of completed runs. Nil-safe (0).
+func (p *Progress) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+func (p *Progress) emit() {
+	done := p.done.Load()
+	total := p.total.Load()
+	elapsed := time.Since(p.start)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if total > 0 && done <= total {
+		eta := time.Duration(0)
+		if rate > 0 {
+			eta = time.Duration(float64(total-done) / rate * float64(time.Second))
+		}
+		fmt.Fprintf(p.w, "%s: %d/%d runs (%.0f%%)  %.0f runs/s  eta %s\n",
+			p.label, done, total, 100*float64(done)/float64(total), rate, eta.Round(100*time.Millisecond))
+		return
+	}
+	fmt.Fprintf(p.w, "%s: %d runs  %.0f runs/s\n", p.label, done, rate)
+}

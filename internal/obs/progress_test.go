@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProgressCountsAndFinish(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "sweep", 0)
+	p.Start(10)
+	var wg sync.WaitGroup
+	for w := 0; w < 5; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				p.RunDone()
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	if got := p.Done(); got != 10 {
+		t.Fatalf("Done = %d, want 10", got)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sweep: 10/10 runs (100%)") {
+		t.Errorf("final line missing completion summary: %q", out)
+	}
+}
+
+func TestProgressUnknownTotal(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "load", 0)
+	p.RunDone()
+	p.Finish()
+	if !strings.Contains(b.String(), "load: 1 runs") {
+		t.Errorf("unknown-total line = %q", b.String())
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Start(5)
+	p.RunDone()
+	p.Finish()
+	if p.Done() != 0 {
+		t.Fatal("nil progress must stay at zero")
+	}
+}

@@ -31,12 +31,28 @@ import (
 	"sync/atomic"
 )
 
+// Progress observes the pool's lifecycle for telemetry: Start announces the
+// cell count before the pool begins, RunDone fires once per completed run.
+// Implementations must be safe for concurrent use, and — because completion
+// order is scheduling-dependent — must never influence results: a Progress
+// may aggregate counts and wall-clock time, nothing else. The obs package
+// provides the standard implementation; a nil Progress is a no-op.
+type Progress interface {
+	Start(n int)
+	RunDone()
+}
+
 // Map executes fn(0..n-1) on min(parallel, n) workers and returns the
 // results in index order. parallel <= 0 selects GOMAXPROCS; parallel == 1
 // runs inline with no goroutines at all. A panic in any fn is re-raised on
 // the caller's goroutine after the remaining workers drain.
 func Map[T any](parallel, n int, fn func(i int) T) []T {
 	return MapWorker(parallel, n, noScratch, func(i int, _ struct{}) T { return fn(i) })
+}
+
+// MapProgress is Map with a progress hook.
+func MapProgress[T any](parallel, n int, pr Progress, fn func(i int) T) []T {
+	return MapWorkerProgress(parallel, n, pr, noScratch, func(i int, _ struct{}) T { return fn(i) })
 }
 
 // ForEach is Map without collected results: fn(0..n-1) over the pool, same
@@ -54,18 +70,34 @@ func noScratch() struct{} { return struct{}{} }
 // depends on scheduling; results must be bitwise-independent of it. The
 // determinism contract is otherwise unchanged.
 func MapWorker[T, S any](parallel, n int, newScratch func() S, fn func(i int, scratch S) T) []T {
+	return MapWorkerProgress[T, S](parallel, n, nil, newScratch, fn)
+}
+
+// MapWorkerProgress is MapWorker with a progress hook (see Progress).
+func MapWorkerProgress[T, S any](parallel, n int, pr Progress, newScratch func() S, fn func(i int, scratch S) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	ForEachWorker(parallel, n, newScratch, func(i int, s S) { out[i] = fn(i, s) })
+	ForEachWorkerProgress(parallel, n, pr, newScratch, func(i int, s S) { out[i] = fn(i, s) })
 	return out
 }
 
 // ForEachWorker is ForEach with per-worker scratch (see MapWorker).
 func ForEachWorker[S any](parallel, n int, newScratch func() S, fn func(i int, scratch S)) {
+	ForEachWorkerProgress(parallel, n, nil, newScratch, fn)
+}
+
+// ForEachWorkerProgress is ForEachWorker with a progress hook: pr.Start(n)
+// fires before the first run, pr.RunDone after each completed run, on
+// whichever worker finished it. The determinism contract is unchanged — the
+// hook observes scheduling, so it must never feed back into results.
+func ForEachWorkerProgress[S any](parallel, n int, pr Progress, newScratch func() S, fn func(i int, scratch S)) {
 	if n <= 0 {
 		return
+	}
+	if pr != nil {
+		pr.Start(n)
 	}
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -77,6 +109,9 @@ func ForEachWorker[S any](parallel, n int, newScratch func() S, fn func(i int, s
 		s := newScratch()
 		for i := 0; i < n; i++ {
 			fn(i, s)
+			if pr != nil {
+				pr.RunDone()
+			}
 		}
 		return
 	}
@@ -106,6 +141,9 @@ func ForEachWorker[S any](parallel, n int, newScratch func() S, fn func(i int, s
 						}
 					}()
 					fn(i, s)
+					if pr != nil {
+						pr.RunDone()
+					}
 				}()
 			}
 		}()
@@ -128,10 +166,16 @@ func MapGrid[T any](parallel, outer, inner int, fn func(o, i int) T) [][]T {
 
 // MapGridWorker is MapGrid with per-worker scratch (see MapWorker).
 func MapGridWorker[T, S any](parallel, outer, inner int, newScratch func() S, fn func(o, i int, scratch S) T) [][]T {
+	return MapGridWorkerProgress[T, S](parallel, outer, inner, nil, newScratch, fn)
+}
+
+// MapGridWorkerProgress is MapGridWorker with a progress hook (see
+// Progress); Start receives the flattened cell count outer*inner.
+func MapGridWorkerProgress[T, S any](parallel, outer, inner int, pr Progress, newScratch func() S, fn func(o, i int, scratch S) T) [][]T {
 	if outer <= 0 || inner <= 0 {
 		return nil
 	}
-	flat := MapWorker(parallel, outer*inner, newScratch, func(k int, s S) T {
+	flat := MapWorkerProgress(parallel, outer*inner, pr, newScratch, func(k int, s S) T {
 		return fn(k/inner, k%inner, s)
 	})
 	out := make([][]T, outer)

@@ -112,6 +112,52 @@ func TestDeriveSeedIndependence(t *testing.T) {
 	}
 }
 
+type countingProgress struct {
+	started atomic.Int64
+	done    atomic.Int64
+}
+
+func (p *countingProgress) Start(n int) { p.started.Add(int64(n)) }
+func (p *countingProgress) RunDone()    { p.done.Add(1) }
+
+// TestProgressHookCounts: Start sees the full cell count before the pool
+// runs, RunDone fires exactly once per run, and the hook changes nothing
+// about the results — at every parallelism level, including inline.
+func TestProgressHookCounts(t *testing.T) {
+	const n = 57
+	want := Map(1, n, func(i int) int { return i * 3 })
+	for _, parallel := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		pr := &countingProgress{}
+		got := MapProgress(parallel, n, pr, func(i int) int { return i * 3 })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel=%d: progress hook perturbed results", parallel)
+		}
+		if pr.started.Load() != n {
+			t.Errorf("parallel=%d: Start saw %d, want %d", parallel, pr.started.Load(), n)
+		}
+		if pr.done.Load() != n {
+			t.Errorf("parallel=%d: RunDone fired %d times, want %d", parallel, pr.done.Load(), n)
+		}
+	}
+}
+
+// TestProgressGridFlattens: grid pools announce the flattened cell count.
+func TestProgressGridFlattens(t *testing.T) {
+	pr := &countingProgress{}
+	MapGridWorkerProgress(3, 4, 5, pr, noScratch, func(o, i int, _ struct{}) int { return o*10 + i })
+	if pr.started.Load() != 20 || pr.done.Load() != 20 {
+		t.Errorf("grid progress = %d started / %d done, want 20/20", pr.started.Load(), pr.done.Load())
+	}
+}
+
+// TestProgressNilSafe: a nil Progress is a no-op, not a crash.
+func TestProgressNilSafe(t *testing.T) {
+	got := MapProgress(4, 8, nil, func(i int) int { return i })
+	if len(got) != 8 {
+		t.Fatalf("nil progress broke the pool: %v", got)
+	}
+}
+
 // TestMapEmpty: degenerate grids are no-ops, not crashes.
 func TestMapEmpty(t *testing.T) {
 	if got := Map(4, 0, func(i int) int { return i }); got != nil {

@@ -1,6 +1,7 @@
 package sam
 
 import (
+	"samnet/internal/obs"
 	"samnet/internal/routing"
 	"samnet/internal/topology"
 )
@@ -85,6 +86,9 @@ type Pipeline struct {
 	Prober    Prober
 	Responder Responder
 	cfg       PipelineConfig
+	// recorder, when set and enabled, captures one decision record per
+	// Process (see SetRecorder in explain.go).
+	recorder *obs.DecisionRing
 }
 
 // NewPipeline builds a pipeline. Prober and Responder may be nil: without a
@@ -109,6 +113,7 @@ func (p *Pipeline) SetUpdateProfile(on bool) { p.cfg.UpdateProfile = on }
 func (p *Pipeline) Process(routes []routing.Route) Outcome {
 	s := Analyze(routes)
 	v := p.Detector.Evaluate(s)
+	p.record(v)
 	out := Outcome{Verdict: v}
 
 	switch v.Decision {

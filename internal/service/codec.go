@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 
+	"samnet/internal/obs"
 	"samnet/internal/routing"
 	"samnet/internal/sam"
 	"samnet/internal/topology"
@@ -59,6 +60,9 @@ type DetectRequest struct {
 	// Update controls the adaptive low-pass profile update (default true,
 	// the paper's behaviour).
 	Update *bool `json:"update,omitempty"`
+	// Explain requests the full decision record — frequency table,
+	// statistics vs thresholds, localized link — in the response.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // VerdictJSON is one detector verdict on the wire.
@@ -92,10 +96,12 @@ func verdictJSON(v sam.Verdict) VerdictJSON {
 	}
 }
 
-// DetectResponse is the body answering /v1/detect.
+// DetectResponse is the body answering /v1/detect. Explain carries the full
+// decision record when the request asked for it.
 type DetectResponse struct {
-	Profile string      `json:"profile"`
-	Verdict VerdictJSON `json:"verdict"`
+	Profile string        `json:"profile"`
+	Verdict VerdictJSON   `json:"verdict"`
+	Explain *obs.Decision `json:"explain,omitempty"`
 }
 
 // BatchDetectRequest is the body of POST /v1/detect/batch: many route sets
@@ -140,6 +146,21 @@ type ProfileResponse struct {
 	PMaxMean float64      `json:"adaptive_pmax_mean"`
 	PhiMean  float64      `json:"adaptive_phi_mean"`
 	Profile  *sam.Profile `json:"profile"`
+}
+
+// DeleteProfileResponse answers DELETE /v1/profiles/{name}.
+type DeleteProfileResponse struct {
+	Profile string `json:"profile"`
+	Deleted bool   `json:"deleted"`
+}
+
+// DecisionsResponse answers GET /debug/decisions: the retained decision
+// records, oldest first, plus the ring's state.
+type DecisionsResponse struct {
+	Enabled   bool           `json:"enabled"`
+	Capacity  int            `json:"capacity"`
+	Recorded  uint64         `json:"recorded"`
+	Decisions []obs.Decision `json:"decisions"`
 }
 
 // ErrorResponse is every non-2xx body.

@@ -1,129 +1,102 @@
 package service
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"samnet/internal/obs"
+	"samnet/internal/sam"
 )
 
-// latencyBounds are the histogram bucket upper bounds in seconds, chosen
-// around the sub-millisecond cost of scoring one route set with headroom for
-// queueing under load.
-var latencyBounds = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+// metrics bundles the service's pre-resolved obs instruments. Every series is
+// registered up front (at New or at wrap time), so the request hot path never
+// touches the registry's mutex — it only increments atomics it already holds
+// pointers to.
+type metrics struct {
+	reg *obs.Registry
+
+	// Per-detection instruments: one counter per hard decision plus the
+	// distributions of the paper's statistics as scored in production.
+	detections   [3]*obs.Counter // indexed by sam.Decision
+	detectPMax   *obs.Histogram
+	detectPhi    *obs.Histogram
+	detectTV     *obs.Histogram
+	detectLambda *obs.Histogram
+
+	// Profile-store lifecycle counters.
+	trainings *obs.Counter
+	loads     *obs.Counter
+	evictions *obs.Counter
 }
 
-// histogram is a fixed-bucket latency histogram with atomic counters, cheap
-// enough to sit on the request hot path.
-type histogram struct {
-	counts []atomic.Uint64 // one per bound, plus +Inf at the end
-	sumNs  atomic.Int64
-	count  atomic.Uint64
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{reg: reg}
+	for d := sam.Normal; d <= sam.Attacked; d++ {
+		m.detections[d] = reg.Counter("samserve_detections_total",
+			"Scored route sets, by hard decision.",
+			obs.Label{Key: "decision", Value: d.String()})
+	}
+	m.detectPMax = reg.Histogram("samserve_detect_pmax",
+		"Observed p_max (max link relative frequency) per scored route set.", obs.RatioBuckets)
+	m.detectPhi = reg.Histogram("samserve_detect_phi",
+		"Observed phi (normalized top-two frequency gap) per scored route set.", obs.RatioBuckets)
+	m.detectTV = reg.Histogram("samserve_detect_tv",
+		"PMF total-variation distance from the trained profile per scored route set.", obs.RatioBuckets)
+	m.detectLambda = reg.Histogram("samserve_detect_lambda",
+		"Soft decision lambda per scored route set (0 attacked, 1 normal).", obs.RatioBuckets)
+	m.trainings = reg.Counter("samserve_profile_trainings_total",
+		"Successful training requests.")
+	m.loads = reg.Counter("samserve_profile_loads_total",
+		"Profiles installed from external snapshots (LoadProfile).")
+	m.evictions = reg.Counter("samserve_profile_evictions_total",
+		"Profiles evicted from the store (DELETE /v1/profiles).")
+	return m
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Uint64, len(latencyBounds)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := sort.SearchFloat64s(latencyBounds, sec)
-	h.counts[i].Add(1)
-	h.sumNs.Add(int64(d))
-	h.count.Add(1)
+// observeVerdict feeds one scored verdict into the detection instruments.
+func (m *metrics) observeVerdict(v sam.Verdict) {
+	if d := int(v.Decision); d >= 0 && d < len(m.detections) {
+		m.detections[d].Inc()
+	}
+	m.detectPMax.Observe(v.Stats.PMax)
+	m.detectPhi.Observe(v.Stats.Phi)
+	m.detectTV.Observe(v.TV)
+	m.detectLambda.Observe(v.Lambda)
 }
 
 // endpointMetrics tracks one endpoint: request counts by status class and a
-// latency histogram.
+// latency histogram, resolved once at registration.
 type endpointMetrics struct {
-	name    string
-	byClass [6]atomic.Uint64 // index status/100; 0 collects anything odd
-	latency *histogram
+	byClass [6]*obs.Counter // index status/100; 0 collects anything odd
+	latency *obs.Histogram
 }
 
-func (m *endpointMetrics) record(status int, d time.Duration) {
-	class := status / 100
-	if class < 0 || class > 5 {
-		class = 0
-	}
-	m.byClass[class].Add(1)
-	m.latency.observe(d)
-}
-
-// metrics is the service-wide registry. Endpoints are registered up front,
-// so the hot path is lock-free; the mutex only guards registration.
-type metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
-	start     time.Time
-}
-
-func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointMetrics), start: time.Now()}
-}
+var classNames = [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
 
 func (m *metrics) endpoint(name string) *endpointMetrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	em := m.endpoints[name]
-	if em == nil {
-		em = &endpointMetrics{name: name, latency: newHistogram()}
-		m.endpoints[name] = em
+	em := &endpointMetrics{
+		latency: m.reg.Histogram("samserve_request_duration_seconds",
+			"Request latency.", obs.DefaultLatencyBuckets,
+			obs.Label{Key: "endpoint", Value: name}),
+	}
+	// Only the classes a handler can actually answer are declared, keeping
+	// the exposition focused; anything unexpected lands in "other".
+	for _, class := range []int{0, 2, 4, 5} {
+		em.byClass[class] = m.reg.Counter("samserve_requests_total",
+			"Requests served, by endpoint and status class.",
+			obs.Label{Key: "endpoint", Value: name},
+			obs.Label{Key: "class", Value: classNames[class]})
 	}
 	return em
 }
 
-// write renders the registry in Prometheus text exposition format. depth and
-// profiles report the current worker-pool occupancy and profile count.
-func (m *metrics) write(w io.Writer, depth int64, profiles int) {
-	m.mu.Lock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
+func (em *endpointMetrics) record(status int, d time.Duration) {
+	class := status / 100
+	if class < 0 || class >= len(em.byClass) || em.byClass[class] == nil {
+		class = 0
 	}
-	m.mu.Unlock()
-	sort.Strings(names)
-
-	fmt.Fprintf(w, "# HELP samserve_uptime_seconds Seconds since the service started.\n")
-	fmt.Fprintf(w, "# TYPE samserve_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "samserve_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "# HELP samserve_queue_depth Tasks admitted to the worker pool (queued or running).\n")
-	fmt.Fprintf(w, "# TYPE samserve_queue_depth gauge\n")
-	fmt.Fprintf(w, "samserve_queue_depth %d\n", depth)
-	fmt.Fprintf(w, "# HELP samserve_profiles Profiles resident in the store.\n")
-	fmt.Fprintf(w, "# TYPE samserve_profiles gauge\n")
-	fmt.Fprintf(w, "samserve_profiles %d\n", profiles)
-
-	fmt.Fprintf(w, "# HELP samserve_requests_total Requests served, by endpoint and status class.\n")
-	fmt.Fprintf(w, "# TYPE samserve_requests_total counter\n")
-	for _, name := range names {
-		em := m.endpoints[name]
-		for class := 1; class <= 5; class++ {
-			if n := em.byClass[class].Load(); n > 0 {
-				fmt.Fprintf(w, "samserve_requests_total{endpoint=%q,class=\"%dxx\"} %d\n", name, class, n)
-			}
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP samserve_request_duration_seconds Request latency.\n")
-	fmt.Fprintf(w, "# TYPE samserve_request_duration_seconds histogram\n")
-	for _, name := range names {
-		h := m.endpoints[name].latency
-		var cum uint64
-		for i, bound := range latencyBounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "samserve_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
-		}
-		cum += h.counts[len(latencyBounds)].Load()
-		fmt.Fprintf(w, "samserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "samserve_request_duration_seconds_sum{endpoint=%q} %.6f\n", name, time.Duration(h.sumNs.Load()).Seconds())
-		fmt.Fprintf(w, "samserve_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
-	}
+	em.byClass[class].Inc()
+	em.latency.ObserveDuration(d)
 }
 
 // statusWriter captures the status code a handler writes, for metrics.

@@ -7,14 +7,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze               SAM statistics of a route set (stateless)
-//	POST /v1/detect                score one route set against a profile
-//	POST /v1/detect/batch          score many route sets on the worker pool
-//	POST /v1/profiles/{name}/train feed normal route sets into the trainer
-//	GET  /v1/profiles              list stored profiles
-//	GET  /v1/profiles/{name}       export a profile snapshot
-//	GET  /metrics                  Prometheus text metrics
-//	GET  /healthz                  liveness probe
+//	POST   /v1/analyze               SAM statistics of a route set (stateless)
+//	POST   /v1/detect                score one route set against a profile
+//	POST   /v1/detect/batch          score many route sets on the worker pool
+//	POST   /v1/profiles/{name}/train feed normal route sets into the trainer
+//	GET    /v1/profiles              list stored profiles
+//	GET    /v1/profiles/{name}       export a profile snapshot
+//	DELETE /v1/profiles/{name}       evict a profile from the store
+//	GET    /debug/decisions          recent decision records (explainability)
+//	GET    /metrics                  Prometheus text metrics
+//	GET    /healthz                  liveness probe
+//
+// Telemetry lives on an obs.Registry (private by default, injectable for
+// embedding) and every scored route set can be captured as a structured
+// obs.Decision in a lock-free ring; capture is toggled by one atomic and
+// costs nothing when off.
 package service
 
 import (
@@ -23,7 +30,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"time"
 
+	"samnet/internal/obs"
 	"samnet/internal/sam"
 )
 
@@ -45,6 +54,15 @@ type Config struct {
 	Detector sam.DetectorConfig
 	// PMFBins is the trainer binning (0 selects sam.DefaultPMFBins).
 	PMFBins int
+	// Registry receives the service's instruments. Nil creates a private
+	// registry; inject one to merge the service's series into a larger
+	// exposition (each Service must then be the registry's only samserve_*
+	// producer).
+	Registry *obs.Registry
+	// DecisionBuffer sizes the ring of retained decision records behind
+	// GET /debug/decisions (default 256; negative disables capture, making
+	// the detect path record-free).
+	DecisionBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +84,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.DecisionBuffer == 0 {
+		c.DecisionBuffer = 256
+	}
 	return c
 }
 
@@ -77,6 +101,12 @@ type Service struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+	// detCfg is the effective detector configuration (defaults resolved),
+	// echoed into decision records as the thresholds verdicts were judged by.
+	detCfg sam.DetectorConfig
+	// decisions retains recent decision records; nil when capture is
+	// disabled (DecisionBuffer < 0).
+	decisions *obs.DecisionRing
 }
 
 // New builds a service and starts its worker pool.
@@ -86,8 +116,25 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		store:   newStore(cfg.Shards, cfg.Detector, cfg.PMFBins),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Registry),
+		detCfg:  cfg.Detector.WithDefaults(),
 	}
+	if cfg.DecisionBuffer > 0 {
+		s.decisions = obs.NewDecisionRing(cfg.DecisionBuffer)
+	}
+	start := time.Now()
+	cfg.Registry.GaugeFunc("samserve_uptime_seconds",
+		"Seconds since the service started.",
+		func() float64 { return time.Since(start).Seconds() })
+	cfg.Registry.GaugeFunc("samserve_queue_depth",
+		"Tasks admitted to the worker pool (queued or running).",
+		func() float64 { return float64(s.pool.depth()) })
+	cfg.Registry.GaugeFunc("samserve_profiles",
+		"Profiles resident in the store.",
+		func() float64 { return float64(s.store.count()) })
+	cfg.Registry.GaugeFunc("samserve_decisions_recorded",
+		"Decision records accepted by the ring since start.",
+		func() float64 { return float64(s.decisions.Recorded()) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/detect", s.wrap("detect", s.handleDetect))
@@ -95,11 +142,20 @@ func New(cfg Config) *Service {
 	mux.HandleFunc("POST /v1/profiles/{name}/train", s.wrap("train", s.handleTrain))
 	mux.HandleFunc("GET /v1/profiles", s.wrap("profiles", s.handleListProfiles))
 	mux.HandleFunc("GET /v1/profiles/{name}", s.wrap("profile_get", s.handleGetProfile))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("DELETE /v1/profiles/{name}", s.wrap("profile_delete", s.handleDeleteProfile))
+	mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+	mux.Handle("GET /metrics", cfg.Registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
 	return s
 }
+
+// Registry returns the registry holding the service's instruments, for
+// mounting on additional listeners (samserve's debug endpoint).
+func (s *Service) Registry() *obs.Registry { return s.cfg.Registry }
+
+// Decisions returns the decision record ring (nil when capture is disabled).
+func (s *Service) Decisions() *obs.DecisionRing { return s.decisions }
 
 // Handler returns the service's HTTP handler.
 func (s *Service) Handler() http.Handler { return s.mux }
@@ -118,6 +174,7 @@ func (s *Service) LoadProfile(name string, p *sam.Profile) error {
 		return errors.New("service: nil or PMF-less profile")
 	}
 	s.store.getOrCreate(name).load(p)
+	s.metrics.loads.Inc()
 	return nil
 }
 
@@ -220,7 +277,26 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, scoreStatus(err), "profile %q: %v", req.Profile, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DetectResponse{Profile: req.Profile, Verdict: verdictJSON(v)})
+	s.metrics.observeVerdict(v)
+	resp := DetectResponse{Profile: req.Profile, Verdict: verdictJSON(v)}
+	if req.Explain || s.decisions.Enabled() {
+		rec := sam.NewDecisionRecord(req.Profile, v, s.detCfg)
+		s.decisions.Record(rec)
+		if req.Explain {
+			resp.Explain = &rec
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// observe feeds one scored verdict into the instruments and, when capture is
+// on, the decision ring. The disabled-capture path is one atomic load and
+// allocation-free (pinned by TestDetectTelemetryOffZeroAlloc).
+func (s *Service) observe(profile string, v sam.Verdict) {
+	s.metrics.observeVerdict(v)
+	if s.decisions.Enabled() {
+		s.decisions.Record(sam.NewDecisionRecord(profile, v, s.detCfg))
+	}
 }
 
 func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +338,7 @@ func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 				errs[i] = err
 				return
 			}
+			s.observe(req.Profile, v)
 			verdicts[i] = verdictJSON(v)
 		}
 	}
@@ -312,6 +389,7 @@ func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "profile %q: %v", name, err)
 		return
 	}
+	s.metrics.trainings.Inc()
 	writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})
 }
 
@@ -346,9 +424,23 @@ func (s *Service) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.pool.depth(), len(s.store.names()))
+func (s *Service) handleDeleteProfile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.remove(name) {
+		writeError(w, http.StatusNotFound, "%v: %q", errUnknownProfile, name)
+		return
+	}
+	s.metrics.evictions.Inc()
+	writeJSON(w, http.StatusOK, DeleteProfileResponse{Profile: name, Deleted: true})
+}
+
+func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, DecisionsResponse{
+		Enabled:   s.decisions.Enabled(),
+		Capacity:  s.decisions.Cap(),
+		Recorded:  s.decisions.Recorded(),
+		Decisions: s.decisions.Snapshot(),
+	})
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -344,11 +344,15 @@ func TestHealthAndMetrics(t *testing.T) {
 	mr.Body.Close()
 	text := buf.String()
 	for _, want := range []string{
-		`samserve_requests_total{endpoint="detect",class="2xx"} 1`,
-		`samserve_requests_total{endpoint="train",class="2xx"} 1`,
+		`samserve_requests_total{class="2xx",endpoint="detect"} 1`,
+		`samserve_requests_total{class="2xx",endpoint="train"} 1`,
 		`samserve_request_duration_seconds_count{endpoint="detect"} 1`,
 		"samserve_queue_depth 0",
 		"samserve_profiles 1",
+		`samserve_detections_total{decision="normal"} 1`,
+		"samserve_detect_pmax_count 1",
+		"samserve_profile_trainings_total 1",
+		"samserve_decisions_recorded 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)

@@ -177,6 +177,33 @@ func (s *store) getOrCreate(name string) *entry {
 	return e
 }
 
+// remove evicts the named entry, reporting whether it existed. In-flight
+// scores holding the entry pointer finish against their copy; new lookups
+// answer errUnknownProfile.
+func (s *store) remove(name string) bool {
+	sh := s.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[name]; !ok {
+		return false
+	}
+	delete(sh.entries, name)
+	return true
+}
+
+// count returns the number of resident profiles without building the sorted
+// name list (the profiles gauge reads it on every scrape).
+func (s *store) count() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // names returns every profile name, sorted.
 func (s *store) names() []string {
 	var out []string

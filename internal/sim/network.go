@@ -95,8 +95,9 @@ type Network struct {
 	// cycles that re-arm attackers do not reallocate it.
 	factorSpare []float64
 
-	lost int64 // receptions destroyed by channel loss
-	ids  uint64
+	lost    int64 // receptions destroyed by channel loss
+	dropped int64 // receptions destroyed by the drop hook (attacks)
+	ids     uint64
 }
 
 // NewNetwork builds a network over topo. Handlers default to a no-op; set
@@ -162,6 +163,7 @@ func (n *Network) resetState() {
 	n.delayFactor = nil
 	n.drop = nil
 	n.lost = 0
+	n.dropped = 0
 	n.ids = 0
 }
 
@@ -216,6 +218,12 @@ func (n *Network) SetDelayFactor(id topology.NodeID, f float64) {
 
 // Lost returns how many receptions channel noise destroyed.
 func (n *Network) Lost() int64 { return n.lost }
+
+// Dropped returns how many receptions the drop hook destroyed — black/grey
+// hole payload drops and other malicious behaviour, as opposed to channel
+// loss (Lost). Together with TotalTraffic these are the simulation's
+// tx/rx/drop telemetry totals.
+func (n *Network) Dropped() int64 { return n.dropped }
 
 // TxCount returns the number of transmissions node id has performed.
 func (n *Network) TxCount(id topology.NodeID) int64 { return n.tx[id] }
@@ -285,6 +293,7 @@ func (n *Network) deliver(from, to topology.NodeID, pkt Packet, delay Time) {
 // half of deliver, at arrival time.
 func (n *Network) dispatch(from, to topology.NodeID, pkt Packet) {
 	if n.drop != nil && n.drop(n, from, to, pkt) {
+		n.dropped++
 		return
 	}
 	n.rx[to]++

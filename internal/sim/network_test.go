@@ -117,6 +117,16 @@ func TestDropFuncSuppressesDelivery(t *testing.T) {
 	if rx != 0 {
 		t.Errorf("rx = %d; dropped packets must not count as receptions", rx)
 	}
+	if net.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", net.Dropped())
+	}
+	if net.Lost() != 0 {
+		t.Errorf("Lost = %d; attack drops must not count as channel loss", net.Lost())
+	}
+	net.Reset(1)
+	if net.Dropped() != 0 {
+		t.Errorf("Dropped = %d after Reset, want 0", net.Dropped())
+	}
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
