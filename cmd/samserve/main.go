@@ -9,9 +9,21 @@
 //	samserve [-addr :8080] [-workers N] [-queue N] [-shards N]
 //	         [-decisions N] [-debug-addr :6060] [-log-format text|json]
 //	         [-profile name=file.json]...
+//	         [-snapshot state.jsonl] [-snapshot-interval 1m]
+//	         [-profile-ttl 0] [-max-profiles 0]
 //
 // -profile preloads a samtrain-produced profile JSON under the given name
 // (repeatable), so the server can score immediately without online training.
+//
+// -snapshot makes the profile store durable: the file is restored on boot
+// (a missing file is a fresh start), rewritten atomically every
+// -snapshot-interval, and written once more on graceful shutdown, so trained
+// profiles and their adaptive means survive restarts.
+//
+// -profile-ttl evicts profiles idle longer than the given duration;
+// -max-profiles caps residency, evicting least-recently-used first. Both
+// default to 0 (disabled); evictions surface in the
+// samserve_profile_evictions_total metric by reason.
 //
 // -debug-addr opens a second listener for runtime introspection: net/http/
 // pprof under /debug/pprof/, the metrics registry under /metrics, and recent
@@ -25,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -55,15 +68,19 @@ func (p *profileFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		debugAddr = flag.String("debug-addr", "", "debug listener for pprof, metrics and decisions (empty = disabled)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
-		queue     = flag.Int("queue", 0, "worker queue depth (0 = default)")
-		shards    = flag.Int("shards", 0, "profile store shards (0 = default)")
-		maxBody   = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
-		decisions = flag.Int("decisions", 0, "decision record buffer (0 = default 256, negative disables capture)")
-		logFormat = flag.String("log-format", "text", "log output format: text or json")
-		profiles  profileFlags
+		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "debug listener for pprof, metrics and decisions (empty = disabled)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		queue        = flag.Int("queue", 0, "worker queue depth (0 = default)")
+		shards       = flag.Int("shards", 0, "profile store shards (0 = default)")
+		maxBody      = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+		decisions    = flag.Int("decisions", 0, "decision record buffer (0 = default 256, negative disables capture)")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		snapshot     = flag.String("snapshot", "", "profile snapshot file: restored on boot, rewritten periodically and on shutdown (empty = no persistence)")
+		snapInterval = flag.Duration("snapshot-interval", time.Minute, "interval between periodic snapshot writes")
+		profileTTL   = flag.Duration("profile-ttl", 0, "evict profiles idle longer than this (0 = never)")
+		maxProfiles  = flag.Int("max-profiles", 0, "cap resident profiles, evicting least recently used (0 = unlimited)")
+		profiles     profileFlags
 	)
 	flag.Var(&profiles, "profile", "preload a trained profile as name=file.json (repeatable)")
 	flag.Parse()
@@ -80,8 +97,31 @@ func main() {
 		Shards:         *shards,
 		MaxBodyBytes:   *maxBody,
 		DecisionBuffer: *decisions,
+		ProfileTTL:     *profileTTL,
+		MaxProfiles:    *maxProfiles,
 	}
 	svc := service.New(cfg)
+
+	// Boot restore happens before -profile preloads, so explicitly preloaded
+	// profiles win over whatever the last snapshot held under the same name.
+	if *snapshot != "" {
+		st, err := svc.RestoreSnapshot(*snapshot)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			logger.Info("no snapshot yet, starting fresh", "path", *snapshot)
+		case err != nil:
+			// A present-but-unreadable snapshot is a refusal to guess: better
+			// to stop than to silently boot empty and overwrite it later.
+			fatal(logger, fmt.Errorf("snapshot restore: %w", err))
+		default:
+			logger.Info("snapshot restored", "path", *snapshot,
+				"profiles", st.Restored, "skipped", st.Skipped)
+			if st.LastError != nil {
+				logger.Warn("snapshot records skipped", "last_cause", st.LastError)
+			}
+		}
+	}
+
 	for _, p := range profiles {
 		blob, err := os.ReadFile(p.path)
 		if err != nil {
@@ -97,22 +137,14 @@ func main() {
 		logger.Info("profile loaded", "name", p.name, "path", p.path, "runs", prof.Runs)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newServer(*addr, svc.Handler(), defaultTimeouts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
-		debugSrv = &http.Server{
-			Addr:              *debugAddr,
-			Handler:           debugMux(svc),
-			ReadHeaderTimeout: 10 * time.Second,
-		}
+		debugSrv = newServer(*debugAddr, debugMux(svc), defaultTimeouts)
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
@@ -126,7 +158,33 @@ func main() {
 		"addr", *addr,
 		"workers", *workers, "queue", *queue, "shards", *shards,
 		"max_body", *maxBody, "decisions", *decisions,
-		"profiles", len(profiles))
+		"profiles", len(profiles),
+		"snapshot", *snapshot, "profile_ttl", *profileTTL, "max_profiles", *maxProfiles)
+
+	// Periodic snapshot writer. Each write is atomic (temp + rename), so a
+	// crash between ticks loses at most one interval of adaptive drift, never
+	// the file.
+	var snapStop, snapDone chan struct{}
+	if *snapshot != "" && *snapInterval > 0 {
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			t := time.NewTicker(*snapInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-t.C:
+					if n, err := svc.SaveSnapshot(*snapshot); err != nil {
+						logger.Error("snapshot write failed", "path", *snapshot, "err", err)
+					} else {
+						logger.Debug("snapshot written", "path", *snapshot, "profiles", n)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -147,8 +205,51 @@ func main() {
 	if debugSrv != nil {
 		debugSrv.Shutdown(shutdownCtx)
 	}
+	// Final snapshot after the listeners drain — every in-flight adaptive
+	// update is in the store by now — and before Close tears the sweeper down.
+	if snapStop != nil {
+		close(snapStop)
+		<-snapDone
+	}
+	if *snapshot != "" {
+		if n, err := svc.SaveSnapshot(*snapshot); err != nil {
+			logger.Error("final snapshot failed", "path", *snapshot, "err", err)
+		} else {
+			logger.Info("final snapshot written", "path", *snapshot, "profiles", n)
+		}
+	}
 	svc.Close()
 	logger.Info("stopped")
+}
+
+// timeouts bundles an http.Server's slow-client protection knobs so tests
+// can shrink them without duplicating server construction.
+type timeouts struct {
+	readHeader, read, write, idle time.Duration
+}
+
+// defaultTimeouts bounds how long a client may dribble a request (read), how
+// long a response may take to drain (write; streaming handlers lift their own
+// deadline), and how long an idle keep-alive connection is kept.
+var defaultTimeouts = timeouts{
+	readHeader: 10 * time.Second,
+	read:       30 * time.Second,
+	write:      2 * time.Minute,
+	idle:       2 * time.Minute,
+}
+
+// newServer builds both of samserve's listeners: every server gets the full
+// timeout set, so a slow or stalled client can never pin a connection (and
+// its goroutine) forever.
+func newServer(addr string, h http.Handler, to timeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: to.readHeader,
+		ReadTimeout:       to.read,
+		WriteTimeout:      to.write,
+		IdleTimeout:       to.idle,
+	}
 }
 
 // debugMux assembles the introspection listener: pprof's full suite, the

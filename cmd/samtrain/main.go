@@ -6,7 +6,13 @@
 //
 //	samtrain [-topo cluster|uniform6x6|uniform10x6|random] [-tier K]
 //	         [-protocol mr|smr|dsr] [-runs N] [-parallel P] [-seed S]
-//	         [-o profile.json] [-progress] [-log-format text|json]
+//	         [-o profile.json] [-snapshot] [-name NAME]
+//	         [-progress] [-log-format text|json]
+//
+// -snapshot switches the output to samserve's snapshot format (header line
+// plus one profile record), so a trained profile can seed a samserve
+// -snapshot file directly; -name sets the record's store name (default: the
+// training label).
 //
 // Discoveries run on a worker pool (-parallel, default all cores) but every
 // run's randomness is derived from its run index, and results fold into the
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +34,7 @@ import (
 	"samnet/internal/routing"
 	"samnet/internal/runner"
 	"samnet/internal/sam"
+	"samnet/internal/service"
 	"samnet/internal/sim"
 )
 
@@ -42,6 +50,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = all cores, 1 = serial)")
 		seed      = flag.Uint64("seed", 2005, "master seed")
 		out       = flag.String("o", "", "output file (default stdout)")
+		snapshot  = flag.Bool("snapshot", false, "emit samserve snapshot format instead of bare profile JSON")
+		name      = flag.String("name", "", "store name for -snapshot records (default: the training label)")
 		progress  = flag.Bool("progress", false, "report run progress (runs/s, ETA) on stderr")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
@@ -100,11 +110,36 @@ func main() {
 		fatal(err)
 	}
 
-	blob, err := json.MarshalIndent(profile, "", "  ")
-	if err != nil {
-		fatal(err)
+	var blob []byte
+	if *snapshot {
+		// Snapshot output: the exact file samserve -snapshot restores on
+		// boot. A freshly trained profile's adaptive means are its trained
+		// means — the low-pass filter's starting point.
+		recName := *name
+		if recName == "" {
+			recName = label
+		}
+		var buf bytes.Buffer
+		if err := service.WriteSnapshotHeader(&buf); err != nil {
+			fatal(err)
+		}
+		rec := service.ProfileResponse{
+			Name:     recName,
+			Runs:     trainer.Runs(),
+			PMaxMean: profile.PMax.Mean,
+			PhiMean:  profile.Phi.Mean,
+			Profile:  profile,
+		}
+		if err := service.WriteSnapshotRecord(&buf, rec); err != nil {
+			fatal(err)
+		}
+		blob = buf.Bytes()
+	} else {
+		if blob, err = json.MarshalIndent(profile, "", "  "); err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
 	}
-	blob = append(blob, '\n')
 	if *out == "" {
 		os.Stdout.Write(blob)
 	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {

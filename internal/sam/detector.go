@@ -150,6 +150,19 @@ func (d *Detector) Profile() *Profile { return d.profile }
 // AdaptiveMeans returns the current low-pass-updated feature means.
 func (d *Detector) AdaptiveMeans() (pmax, phi float64) { return d.pmaxMean, d.phiMean }
 
+// SetAdaptiveMeans overwrites the adaptive feature means with values captured
+// earlier by AdaptiveMeans, restoring the low-pass filter state (equations 8
+// and 9) across a snapshot/restore cycle. Both features are relative
+// frequencies, so values must be finite and in [0,1]; anything else panics —
+// persisted state is validated by the caller before it reaches the detector.
+func (d *Detector) SetAdaptiveMeans(pmax, phi float64) {
+	if math.IsNaN(pmax) || pmax < 0 || pmax > 1 || math.IsNaN(phi) || phi < 0 || phi > 1 {
+		panic("sam: adaptive means out of [0,1]")
+	}
+	d.pmaxMean = pmax
+	d.phiMean = phi
+}
+
 // Evaluate scores one route set's statistics and returns the verdict.
 // It does not update the adaptive profile; call Update with the verdict's
 // lambda once the decision has been acted on.

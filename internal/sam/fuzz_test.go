@@ -76,6 +76,41 @@ func FuzzAnalyze(f *testing.F) {
 	})
 }
 
+// FuzzProfileJSON throws arbitrary documents at the profile decoder: decoding
+// must never panic, and any document that decodes must survive a
+// marshal/unmarshal round trip unchanged — the invariant the service's
+// snapshot restore leans on for on-disk state.
+func FuzzProfileJSON(f *testing.F) {
+	f.Add(`{"label":"p","runs":2,"pmf_counts":[1,1],"pmf_total":2}`)
+	f.Add(`{"label":"legacy","pmf_counts":[3],"pmf_total":3}`) // pre-Runs document
+	f.Add(`{"label":"x","pmf_counts":[],"pmf_total":0}`)
+	f.Add(`{"label":"x","pmf_counts":[-1],"pmf_total":-1}`)
+	f.Add(`{"runs":-5,"pmf_counts":[1],"pmf_total":1}`)
+	f.Add(`null`)
+	f.Add(`{}`)
+	f.Add(`{"pmax":{"Mean":1e308},"pmf_counts":[1],"pmf_total":1}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		var p Profile
+		if err := json.Unmarshal([]byte(doc), &p); err != nil {
+			return // refused documents are fine; they must just not panic
+		}
+		if p.PMF == nil || p.Runs < 0 {
+			t.Fatalf("decoder accepted an invalid profile: %+v from %q", p, doc)
+		}
+		blob, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("accepted profile does not re-marshal: %v", err)
+		}
+		var back Profile
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("re-marshaled profile does not decode: %v (%s)", err, blob)
+		}
+		if back.Label != p.Label || back.Runs != p.Runs || back.PMF.Total != p.PMF.Total {
+			t.Fatalf("profile changed across round trip: %+v vs %+v", back, p)
+		}
+	})
+}
+
 // FuzzTrainerDetector drives the full train-then-score path on byte-derived
 // route sets: training must never panic, a trained profile must survive a
 // JSON round trip, and every verdict must keep lambda and the adaptive

@@ -109,8 +109,18 @@ type profileJSON struct {
 	PMFTotal  int           `json:"pmf_total"`
 }
 
-// MarshalJSON implements json.Marshaler.
+// ErrNoPMF reports a marshal of a profile that carries no trained PMF — a
+// zero-value or hand-built Profile. UnmarshalJSON rejects PMF-less documents,
+// so refusing to emit one keeps every marshaled profile loadable.
+var ErrNoPMF = errors.New("sam: profile has no PMF")
+
+// MarshalJSON implements json.Marshaler. A profile without a PMF answers
+// ErrNoPMF (wrapped by encoding/json in a *json.MarshalerError) instead of
+// panicking on the nil dereference.
 func (p *Profile) MarshalJSON() ([]byte, error) {
+	if p.PMF == nil {
+		return nil, fmt.Errorf("%w (label %q)", ErrNoPMF, p.Label)
+	}
 	return json.Marshal(profileJSON{
 		Label:     p.Label,
 		Runs:      p.Runs,

@@ -131,6 +131,47 @@ type TrainResponse struct {
 	Trained bool   `json:"trained"`
 }
 
+// TrainScenarioJSON is one grid cell axis of POST /v1/train/batch: a
+// (topology, transmission tier, protocol) condition, trained into the named
+// profile (default: a flattened form of the scenario's canonical label,
+// e.g. "cluster-1tier-MR", so the name fits one URL path segment).
+type TrainScenarioJSON struct {
+	Profile  string `json:"profile,omitempty"`
+	Topo     string `json:"topo"`
+	Tier     int    `json:"tier,omitempty"`
+	Protocol string `json:"protocol,omitempty"`
+}
+
+// TrainBatchRequest is the body of POST /v1/train/batch: a scenario grid
+// swept server-side under the runner's determinism contract. Stream switches
+// the response to a progress stream whose final line is the result JSON.
+type TrainBatchRequest struct {
+	Scenarios []TrainScenarioJSON `json:"scenarios"`
+	Runs      int                 `json:"runs,omitempty"`
+	Seed      *uint64             `json:"seed,omitempty"`
+	Parallel  int                 `json:"parallel,omitempty"`
+	Stream    bool                `json:"stream,omitempty"`
+}
+
+// TrainBatchResult reports one scenario's outcome.
+type TrainBatchResult struct {
+	Profile string `json:"profile"`
+	Label   string `json:"label"`
+	Runs    int    `json:"runs"`
+	Trained bool   `json:"trained"`
+	Error   string `json:"error,omitempty"`
+}
+
+// TrainBatchResponse answers /v1/train/batch, scenarios in request order.
+// It carries the effective runs and seed so defaulted sweeps are
+// reproducible from the response alone.
+type TrainBatchResponse struct {
+	Scenarios []TrainBatchResult `json:"scenarios"`
+	Runs      int                `json:"runs"`
+	Cells     int                `json:"cells"`
+	Seed      uint64             `json:"seed"`
+}
+
 // ProfileInfo describes one stored profile in GET /v1/profiles.
 type ProfileInfo struct {
 	Name    string `json:"name"`

@@ -23,10 +23,15 @@ type metrics struct {
 	detectTV     *obs.Histogram
 	detectLambda *obs.Histogram
 
-	// Profile-store lifecycle counters.
-	trainings *obs.Counter
-	loads     *obs.Counter
-	evictions *obs.Counter
+	// Profile-store lifecycle counters. Evictions are labelled by cause:
+	// an explicit DELETE, the idle-TTL sweep, or the max-profiles LRU cap.
+	trainings    *obs.Counter
+	loads        *obs.Counter
+	evictDelete  *obs.Counter
+	evictTTL     *obs.Counter
+	evictLRU     *obs.Counter
+	snapshots    *obs.Counter
+	snapshotErrs *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -48,8 +53,18 @@ func newMetrics(reg *obs.Registry) *metrics {
 		"Successful training requests.")
 	m.loads = reg.Counter("samserve_profile_loads_total",
 		"Profiles installed from external snapshots (LoadProfile).")
-	m.evictions = reg.Counter("samserve_profile_evictions_total",
-		"Profiles evicted from the store (DELETE /v1/profiles).")
+	for _, c := range []struct {
+		reason string
+		dst    **obs.Counter
+	}{{"delete", &m.evictDelete}, {"ttl", &m.evictTTL}, {"lru", &m.evictLRU}} {
+		*c.dst = reg.Counter("samserve_profile_evictions_total",
+			"Profiles evicted from the store, by cause (delete, ttl, lru).",
+			obs.Label{Key: "reason", Value: c.reason})
+	}
+	m.snapshots = reg.Counter("samserve_snapshots_total",
+		"Snapshot files written successfully (timer or shutdown).")
+	m.snapshotErrs = reg.Counter("samserve_snapshot_errors_total",
+		"Snapshot write attempts that failed.")
 	return m
 }
 
@@ -116,6 +131,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can reach
+// optional interfaces (Flusher for the batch-training progress stream) that
+// the embedding hides.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with request counting and latency observation
 // under the given endpoint name.

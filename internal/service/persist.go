@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot persistence: the profile lifecycle's durability layer. A snapshot
+// is JSON lines — one header record followed by one record per resident
+// trained profile, each record exactly the body GET /v1/profiles/{name}
+// answers (name, runs, adaptive feature means, portable profile). Persisting
+// the adaptive means matters: they are the low-pass filter state of the
+// paper's equations 8–9, and without them every restart silently resets the
+// profile to its trained means.
+//
+// Durability contract:
+//
+//   - Writes are atomic: the snapshot is written to a temp file in the target
+//     directory, fsynced, and renamed over the destination, so a crash
+//     mid-write can never leave a half-written file under the snapshot path.
+//   - Restores are prefix-tolerant: records are validated independently and a
+//     corrupt or truncated record is skipped (counted, reported) while every
+//     valid record before and after it restores — a truncated tail costs the
+//     tail, never the boot.
+
+// SnapshotFormat and SnapshotVersion identify the on-disk snapshot schema.
+// Version bumps when a record's meaning changes incompatibly; readers refuse
+// versions they do not know rather than misread them.
+const (
+	SnapshotFormat  = "samserve-snapshot"
+	SnapshotVersion = 1
+)
+
+// SnapshotHeader is the first line of every snapshot file.
+type SnapshotHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+// WriteSnapshotHeader emits the header line opening a snapshot stream.
+func WriteSnapshotHeader(w io.Writer) error {
+	return writeJSONLine(w, SnapshotHeader{Format: SnapshotFormat, Version: SnapshotVersion})
+}
+
+// WriteSnapshotRecord emits one profile record. The record type is
+// ProfileResponse on purpose: a snapshot line and a GET /v1/profiles/{name}
+// body are the same document, so samtrain output, API exports and snapshots
+// all interchange.
+func WriteSnapshotRecord(w io.Writer, rec ProfileResponse) error {
+	if rec.Name == "" {
+		return fmt.Errorf("service: snapshot record needs a profile name")
+	}
+	if rec.Profile == nil {
+		return fmt.Errorf("service: snapshot record %q carries no profile", rec.Name)
+	}
+	return writeJSONLine(w, rec)
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// WriteSnapshot streams a snapshot of every resident trained profile to w and
+// returns how many profiles it wrote. Untrained entries (created but never
+// successfully trained) carry no detector state and are skipped; profiles
+// trained or evicted concurrently may or may not be included, each included
+// record is internally consistent (entry.snapshot is race-free).
+func (s *Service) WriteSnapshot(w io.Writer) (int, error) {
+	if err := WriteSnapshotHeader(w); err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, name := range s.store.names() {
+		e, err := s.store.get(name)
+		if err != nil {
+			continue // evicted concurrently
+		}
+		p, pmaxMean, phiMean, runs, err := e.snapshot()
+		if err != nil {
+			continue // untrained
+		}
+		rec := ProfileResponse{Name: name, Runs: runs, PMaxMean: pmaxMean, PhiMean: phiMean, Profile: p}
+		if err := WriteSnapshotRecord(w, rec); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+// SaveSnapshot writes a snapshot atomically under path: temp file in the same
+// directory, fsync, rename. Readers of path therefore always see either the
+// previous complete snapshot or the new complete one.
+func (s *Service) SaveSnapshot(path string) (n int, err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			s.metrics.snapshotErrs.Inc()
+		} else {
+			s.metrics.snapshots.Inc()
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if n, err = s.WriteSnapshot(bw); err != nil {
+		return n, err
+	}
+	if err = bw.Flush(); err != nil {
+		return n, err
+	}
+	if err = f.Sync(); err != nil {
+		return n, err
+	}
+	if err = f.Close(); err != nil {
+		return n, err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// RestoreStats reports a snapshot restore: how many records installed, how
+// many were skipped as corrupt/invalid, and the last skip's cause.
+type RestoreStats struct {
+	Restored int
+	Skipped  int
+	// LastError explains the most recent skipped record (nil when nothing
+	// was skipped); earlier causes are counted, not retained.
+	LastError error
+}
+
+// ReadSnapshot restores profiles from a snapshot stream. The header must
+// parse and match the known format/version — anything else means the file is
+// not a snapshot at all and nothing is restored. After the header, each line
+// is validated independently: a record that fails to parse or validate
+// (including the torn final line of a truncated file) is skipped and counted
+// while the rest restore, so startup never wedges on a bad tail.
+func (s *Service) ReadSnapshot(r io.Reader) (RestoreStats, error) {
+	var st RestoreStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), int(s.cfg.MaxBodyBytes))
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return st, fmt.Errorf("service: snapshot header: %w", err)
+		}
+		return st, fmt.Errorf("service: snapshot is empty")
+	}
+	var hdr SnapshotHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return st, fmt.Errorf("service: snapshot header is not JSON: %w", err)
+	}
+	if hdr.Format != SnapshotFormat {
+		return st, fmt.Errorf("service: snapshot format %q, want %q", hdr.Format, SnapshotFormat)
+	}
+	if hdr.Version != SnapshotVersion {
+		return st, fmt.Errorf("service: snapshot version %d, reader understands %d", hdr.Version, SnapshotVersion)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec ProfileResponse
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			st.Skipped++
+			st.LastError = fmt.Errorf("line %d: %w", line, err)
+			continue
+		}
+		if err := validateSnapshotRecord(rec); err != nil {
+			st.Skipped++
+			st.LastError = fmt.Errorf("line %d: %w", line, err)
+			continue
+		}
+		s.store.restore(rec.Name, rec.Profile, rec.PMaxMean, rec.PhiMean)
+		s.metrics.loads.Inc()
+		st.Restored++
+	}
+	if err := sc.Err(); err != nil {
+		// An over-long or unreadable tail: keep the restored prefix.
+		st.Skipped++
+		st.LastError = err
+	}
+	if st.Restored > 0 {
+		s.enforceCap()
+	}
+	return st, nil
+}
+
+// validateSnapshotRecord checks everything the store will trust: a name, a
+// structurally valid profile (sam.Profile.UnmarshalJSON has already enforced
+// PMF consistency when the field was present), and adaptive means inside the
+// feature domain [0,1] so restored state can never poison the detector.
+func validateSnapshotRecord(rec ProfileResponse) error {
+	if rec.Name == "" {
+		return fmt.Errorf("record has no profile name")
+	}
+	if rec.Profile == nil || rec.Profile.PMF == nil {
+		return fmt.Errorf("record %q carries no profile", rec.Name)
+	}
+	for _, m := range [...]struct {
+		label string
+		v     float64
+	}{{"adaptive_pmax_mean", rec.PMaxMean}, {"adaptive_phi_mean", rec.PhiMean}} {
+		if math.IsNaN(m.v) || m.v < 0 || m.v > 1 {
+			return fmt.Errorf("record %q %s %v outside [0,1]", rec.Name, m.label, m.v)
+		}
+	}
+	return nil
+}
+
+// RestoreSnapshot restores from the snapshot file at path. A missing file is
+// an error (callers decide whether a fresh boot is fine); any other failure
+// mode follows ReadSnapshot's skip-and-count semantics.
+func (s *Service) RestoreSnapshot(path string) (RestoreStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	defer f.Close()
+	return s.ReadSnapshot(f)
+}

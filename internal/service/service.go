@@ -11,6 +11,7 @@
 //	POST   /v1/detect                score one route set against a profile
 //	POST   /v1/detect/batch          score many route sets on the worker pool
 //	POST   /v1/profiles/{name}/train feed normal route sets into the trainer
+//	POST   /v1/train/batch           deterministic server-side training sweep
 //	GET    /v1/profiles              list stored profiles
 //	GET    /v1/profiles/{name}       export a profile snapshot
 //	DELETE /v1/profiles/{name}       evict a profile from the store
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"samnet/internal/obs"
@@ -63,6 +65,13 @@ type Config struct {
 	// GET /debug/decisions (default 256; negative disables capture, making
 	// the detect path record-free).
 	DecisionBuffer int
+	// ProfileTTL evicts profiles idle (no store lookup) for longer than this
+	// duration; 0 disables idle eviction.
+	ProfileTTL time.Duration
+	// MaxProfiles caps store residency: when a training, load or restore
+	// pushes the count above the cap, the least-recently-accessed profiles
+	// are evicted until it fits. 0 means unlimited.
+	MaxProfiles int
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +116,13 @@ type Service struct {
 	// decisions retains recent decision records; nil when capture is
 	// disabled (DecisionBuffer < 0).
 	decisions *obs.DecisionRing
+	// trainBusy is the batch-training single-flight gate: one server-side
+	// sweep at a time, later requests answer 429 instead of queueing sweeps.
+	trainBusy atomic.Bool
+	// sweepStop/sweepDone manage the eviction sweeper goroutine, started
+	// only when a TTL or residency cap is configured.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // New builds a service and starts its worker pool.
@@ -140,6 +156,7 @@ func New(cfg Config) *Service {
 	mux.HandleFunc("POST /v1/detect", s.wrap("detect", s.handleDetect))
 	mux.HandleFunc("POST /v1/detect/batch", s.wrap("detect_batch", s.handleDetectBatch))
 	mux.HandleFunc("POST /v1/profiles/{name}/train", s.wrap("train", s.handleTrain))
+	mux.HandleFunc("POST /v1/train/batch", s.wrap("train_batch", s.handleTrainBatch))
 	mux.HandleFunc("GET /v1/profiles", s.wrap("profiles", s.handleListProfiles))
 	mux.HandleFunc("GET /v1/profiles/{name}", s.wrap("profile_get", s.handleGetProfile))
 	mux.HandleFunc("DELETE /v1/profiles/{name}", s.wrap("profile_delete", s.handleDeleteProfile))
@@ -147,7 +164,90 @@ func New(cfg Config) *Service {
 	mux.Handle("GET /metrics", cfg.Registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
+	if cfg.ProfileTTL > 0 || cfg.MaxProfiles > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// sweepInterval picks how often the eviction sweeper wakes: a quarter of the
+// TTL (so an idle profile overstays by at most ~25%), clamped to [1s, 1m];
+// with only a residency cap configured the sweep is a 10s backstop behind
+// the synchronous enforceCap calls.
+func (s *Service) sweepInterval() time.Duration {
+	if s.cfg.ProfileTTL <= 0 {
+		return 10 * time.Second
+	}
+	iv := s.cfg.ProfileTTL / 4
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
+}
+
+func (s *Service) sweepLoop() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.sweepInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			s.sweepOnce(time.Now())
+		}
+	}
+}
+
+// sweepOnce runs one eviction pass: expire entries idle past the TTL, then
+// enforce the residency cap. It returns the eviction counts for tests.
+func (s *Service) sweepOnce(now time.Time) (ttl, lru int) {
+	if d := s.cfg.ProfileTTL; d > 0 {
+		cutoff := now.Add(-d).UnixNano()
+		for _, a := range s.store.accesses() {
+			if a.last > cutoff {
+				break // accesses is oldest-first; the rest are younger
+			}
+			if s.store.removeIfIdle(a.name, a.e, cutoff) {
+				s.metrics.evictTTL.Inc()
+				ttl++
+			}
+		}
+	}
+	return ttl, s.enforceCap()
+}
+
+// enforceCap evicts least-recently-accessed profiles until residency fits
+// under MaxProfiles. It runs synchronously after every operation that can
+// grow the store (training, load, restore) and inside the periodic sweep.
+func (s *Service) enforceCap() int {
+	max := s.cfg.MaxProfiles
+	if max <= 0 {
+		return 0
+	}
+	evicted := 0
+	over := s.store.count() - max
+	if over <= 0 {
+		return 0
+	}
+	for _, a := range s.store.accesses() {
+		if over <= 0 {
+			break
+		}
+		// cutoff now: only evict if the entry hasn't been touched since the
+		// scan observed it (a concurrent user re-stamps lastAccess).
+		if s.store.removeIfIdle(a.name, a.e, a.last) {
+			s.metrics.evictLRU.Inc()
+			evicted++
+			over--
+		}
+	}
+	return evicted
 }
 
 // Registry returns the registry holding the service's instruments, for
@@ -160,12 +260,21 @@ func (s *Service) Decisions() *obs.DecisionRing { return s.decisions }
 // Handler returns the service's HTTP handler.
 func (s *Service) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool. Call it only after the HTTP server has fully
-// shut down (no handler in flight).
-func (s *Service) Close() { s.pool.close() }
+// Close stops the eviction sweeper and the worker pool. Call it only after
+// the HTTP server has fully shut down (no handler in flight).
+func (s *Service) Close() {
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+		s.sweepStop = nil
+	}
+	s.pool.close()
+}
 
 // LoadProfile installs an externally trained profile (e.g. samtrain output)
-// under the given name, cloning it so the caller keeps its copy.
+// under the given name, cloning it so the caller keeps its copy. The install
+// is eviction-safe: a concurrent DELETE or sweep cannot silently drop it
+// (store.load re-checks residency under the shard lock).
 func (s *Service) LoadProfile(name string, p *sam.Profile) error {
 	if name == "" {
 		return errors.New("service: profile name must not be empty")
@@ -173,8 +282,30 @@ func (s *Service) LoadProfile(name string, p *sam.Profile) error {
 	if p == nil || p.PMF == nil {
 		return errors.New("service: nil or PMF-less profile")
 	}
-	s.store.getOrCreate(name).load(p)
+	s.store.load(name, p)
 	s.metrics.loads.Inc()
+	s.enforceCap()
+	return nil
+}
+
+// RestoreProfile installs a snapshot record — profile plus the adaptive
+// feature means captured when it was written — under the given name. It is
+// LoadProfile for state that must resume, not restart, the low-pass filter.
+func (s *Service) RestoreProfile(name string, p *sam.Profile, pmaxMean, phiMean float64) error {
+	if name == "" {
+		return errors.New("service: profile name must not be empty")
+	}
+	if p == nil || p.PMF == nil {
+		return errors.New("service: nil or PMF-less profile")
+	}
+	if err := validateSnapshotRecord(ProfileResponse{
+		Name: name, PMaxMean: pmaxMean, PhiMean: phiMean, Profile: p,
+	}); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.store.restore(name, p, pmaxMean, phiMean)
+	s.metrics.loads.Inc()
+	s.enforceCap()
 	return nil
 }
 
@@ -390,6 +521,7 @@ func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.trainings.Inc()
+	s.enforceCap()
 	writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})
 }
 
@@ -430,7 +562,7 @@ func (s *Service) handleDeleteProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v: %q", errUnknownProfile, name)
 		return
 	}
-	s.metrics.evictions.Inc()
+	s.metrics.evictDelete.Inc()
 	writeJSON(w, http.StatusOK, DeleteProfileResponse{Profile: name, Deleted: true})
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"samnet/internal/routing"
 	"samnet/internal/sam"
@@ -31,7 +33,14 @@ type entry struct {
 	trainer  *sam.Trainer
 	detector *sam.Detector
 	cfg      sam.DetectorConfig
+	// lastAccess is the wall clock (unix nanos) of the entry's most recent
+	// store lookup; the idle-TTL sweeper and the LRU cap read it to pick
+	// eviction victims.
+	lastAccess atomic.Int64
 }
+
+// touch stamps the entry as just-used.
+func (e *entry) touch() { e.lastAccess.Store(time.Now().UnixNano()) }
 
 // train folds normal-condition route sets into the trainer and rebuilds the
 // detector over the refreshed profile. It returns the total training runs.
@@ -97,11 +106,42 @@ func (e *entry) snapshot() (p *sam.Profile, pmaxMean, phiMean float64, runs int,
 
 // load installs an externally trained profile (e.g. a samtrain JSON file),
 // replacing any detector the entry had. The profile is cloned so the caller
-// keeps ownership of its copy.
+// keeps ownership of its copy. Callers must go through store.load so the
+// install is re-checked for residency against a concurrent eviction.
 func (e *entry) load(p *sam.Profile) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.detector = sam.NewDetector(p.Clone(), e.cfg)
+}
+
+// restore is load plus the adaptive feature means captured by a snapshot, so
+// a restart resumes the low-pass filter exactly where the previous process
+// left it instead of silently resetting to the trained means.
+func (e *entry) restore(p *sam.Profile, pmaxMean, phiMean float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.detector = sam.NewDetector(p.Clone(), e.cfg)
+	e.detector.SetAdaptiveMeans(pmaxMean, phiMean)
+}
+
+// retrain replaces the entry's whole training state with a finished trainer —
+// batch training's semantics are declarative (the grid defines the profile),
+// so re-running the same grid converges on the identical state instead of
+// accumulating. A trainer with no observations leaves the entry untouched.
+func (e *entry) retrain(tr *sam.Trainer) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	runs := tr.Runs()
+	if runs == 0 {
+		return 0, nil
+	}
+	p, err := tr.Profile()
+	if err != nil {
+		return runs, fmt.Errorf("%w: %v", errProfileBuild, err)
+	}
+	e.trainer = tr
+	e.detector = sam.NewDetector(p, e.cfg)
+	return runs, nil
 }
 
 // store is the sharded profile registry. Profile names hash onto shards so
@@ -146,7 +186,8 @@ func (s *store) shard(name string) *storeShard {
 	return &s.shards[h%uint32(len(s.shards))]
 }
 
-// get returns the named entry or errUnknownProfile.
+// get returns the named entry or errUnknownProfile, stamping its last-access
+// time for the idle-TTL sweeper.
 func (s *store) get(name string) (*entry, error) {
 	sh := s.shard(name)
 	sh.mu.RLock()
@@ -155,26 +196,62 @@ func (s *store) get(name string) (*entry, error) {
 	if e == nil {
 		return nil, fmt.Errorf("%w: %q", errUnknownProfile, name)
 	}
+	e.touch()
 	return e, nil
 }
 
 // getOrCreate returns the named entry, creating an empty trainer on first
-// use.
+// use, and stamps its last-access time.
 func (s *store) getOrCreate(name string) *entry {
 	sh := s.shard(name)
 	sh.mu.RLock()
 	e := sh.entries[name]
 	sh.mu.RUnlock()
 	if e != nil {
+		e.touch()
 		return e
 	}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if e = sh.entries[name]; e == nil {
 		e = &entry{name: name, trainer: sam.NewTrainer(name, s.bins), cfg: s.cfg}
 		sh.entries[name] = e
 	}
+	sh.mu.Unlock()
+	e.touch()
 	return e
+}
+
+// withResident runs fn against the named entry and retries until the entry is
+// still resident afterwards. This closes the load-vs-eviction race: between
+// getOrCreate returning an entry and fn mutating it, a concurrent
+// DELETE /v1/profiles/{name} (or a TTL/LRU sweep) can remove the entry from
+// the shard map, which would silently drop fn's work on an orphan. Re-checking
+// residency under the shard lock and retrying linearizes the install after
+// the eviction instead of losing it.
+func (s *store) withResident(name string, fn func(*entry)) *entry {
+	for {
+		e := s.getOrCreate(name)
+		fn(e)
+		sh := s.shard(name)
+		sh.mu.RLock()
+		resident := sh.entries[name] == e
+		sh.mu.RUnlock()
+		if resident {
+			return e
+		}
+	}
+}
+
+// load installs an external profile under name, surviving concurrent
+// evictions (see withResident).
+func (s *store) load(name string, p *sam.Profile) {
+	s.withResident(name, func(e *entry) { e.load(p) })
+}
+
+// restore installs a snapshot record under name — profile plus adaptive
+// means — surviving concurrent evictions.
+func (s *store) restore(name string, p *sam.Profile, pmaxMean, phiMean float64) {
+	s.withResident(name, func(e *entry) { e.restore(p, pmaxMean, phiMean) })
 }
 
 // remove evicts the named entry, reporting whether it existed. In-flight
@@ -189,6 +266,49 @@ func (s *store) remove(name string) bool {
 	}
 	delete(sh.entries, name)
 	return true
+}
+
+// removeIfIdle evicts name only if the map still holds exactly e and e has
+// not been touched past cutoff — the sweeper's double-check under the shard
+// write lock, so an entry re-created or re-used after the candidate scan is
+// never evicted by a stale observation.
+func (s *store) removeIfIdle(name string, e *entry, cutoff int64) bool {
+	sh := s.shard(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.entries[name] != e || e.lastAccess.Load() > cutoff {
+		return false
+	}
+	delete(sh.entries, name)
+	return true
+}
+
+// access is one (name, entry, lastAccess) observation from an eviction scan.
+type access struct {
+	name string
+	e    *entry
+	last int64
+}
+
+// accesses snapshots every resident entry with its last-access stamp, oldest
+// first — the candidate list for TTL and LRU eviction passes.
+func (s *store) accesses() []access {
+	var out []access
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name, e := range sh.entries {
+			out = append(out, access{name: name, e: e, last: e.lastAccess.Load()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].last != out[j].last {
+			return out[i].last < out[j].last
+		}
+		return out[i].name < out[j].name
+	})
+	return out
 }
 
 // count returns the number of resident profiles without building the sorted

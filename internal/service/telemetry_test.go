@@ -187,7 +187,7 @@ func TestDeleteProfile(t *testing.T) {
 	}
 	text := scrape(t, ts.URL)
 	for _, want := range []string{
-		"samserve_profile_evictions_total 1",
+		`samserve_profile_evictions_total{reason="delete"} 1`,
 		"samserve_profiles 0",
 	} {
 		if !strings.Contains(text, want) {

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"samnet/internal/cli"
+	"samnet/internal/obs"
+	"samnet/internal/routing"
+	"samnet/internal/runner"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+)
+
+// Batch training: POST /v1/train/batch runs a server-side training sweep
+// over a scenario grid — each scenario one (topology, transmission range,
+// protocol) condition, exactly the axes the paper trains a profile per
+// (§IV) — and installs one profile per scenario.
+//
+// The sweep runs on internal/runner under its determinism contract: every
+// run's randomness derives from (seed, scenario label, run index) via
+// runner.DeriveSeed/StreamRNG — a pure function of the cell's grid
+// coordinates — results merge in grid order, and each scenario's trainer
+// folds serially over its runs. Repeating the same request therefore
+// produces byte-identical profiles at any parallelism, and batch training is
+// declarative: the entry's training state is *replaced*, not accumulated, so
+// re-posting a grid converges instead of doubling run counts.
+
+// Limits bounding one batch-training request.
+const (
+	maxTrainScenarios       = 64
+	maxTrainRunsPerScenario = 4096
+	maxTrainCells           = 8192
+)
+
+// trainScenario is one resolved grid cell axis: constructors plus the
+// deterministic label its random streams derive from.
+type trainScenario struct {
+	profile string
+	label   string
+	topo    string
+	tier    int
+	proto   routing.Protocol
+}
+
+// resolveScenarios validates the wire scenarios against the known topology
+// and protocol names and fills defaults (tier 1, protocol mr, profile named
+// after the label).
+func resolveScenarios(in []TrainScenarioJSON) ([]trainScenario, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("scenarios must not be empty")
+	}
+	if len(in) > maxTrainScenarios {
+		return nil, fmt.Errorf("request has %d scenarios, limit %d", len(in), maxTrainScenarios)
+	}
+	out := make([]trainScenario, len(in))
+	seen := make(map[string]int, len(in))
+	for i, sc := range in {
+		tier := sc.Tier
+		if tier == 0 {
+			tier = 1
+		}
+		if tier < 0 || tier > 4 {
+			return nil, fmt.Errorf("scenario %d: tier %d out of range [1,4]", i, sc.Tier)
+		}
+		protoName := sc.Protocol
+		if protoName == "" {
+			protoName = "mr"
+		}
+		proto, err := cli.BuildProtocol(protoName)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %v", i, err)
+		}
+		// Resolve the topology once to reject unknown names up front; the
+		// sweep rebuilds it per run with the run's own seed.
+		if _, err := cli.BuildTopology(sc.Topo, tier, 0); err != nil {
+			return nil, fmt.Errorf("scenario %d: %v", i, err)
+		}
+		label := fmt.Sprintf("%s-%dtier/%s", sc.Topo, tier, proto.Name())
+		name := sc.Profile
+		if name == "" {
+			// The default store name flattens the label's slash so the
+			// profile stays addressable under GET /v1/profiles/{name}
+			// ({name} matches one path segment).
+			name = fmt.Sprintf("%s-%dtier-%s", sc.Topo, tier, proto.Name())
+		}
+		if j, dup := seen[name]; dup {
+			return nil, fmt.Errorf("scenario %d: profile %q already produced by scenario %d", i, name, j)
+		}
+		seen[name] = i
+		out[i] = trainScenario{profile: name, label: label, topo: sc.Topo, tier: tier, proto: proto}
+	}
+	return out, nil
+}
+
+// trainCell runs one clean route discovery for grid cell (scenario, run).
+// All three random streams — topology placement, source/destination pair,
+// simulation jitter — derive from the scenario label and run index alone.
+func trainCell(sc trainScenario, seed uint64, run int) ([]routing.Route, error) {
+	net, err := cli.BuildTopology(sc.topo, sc.tier, runner.DeriveSeed(seed, sc.label+"/topo", run))
+	if err != nil {
+		return nil, err
+	}
+	src, dst := net.PickPair(runner.StreamRNG(seed, sc.label+"/pair", run))
+	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: runner.DeriveSeed(seed, sc.label+"/sim", run)})
+	return sc.proto.Discover(simNet, src, dst).Routes, nil
+}
+
+func (s *Service) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
+	var req TrainBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	scenarios, err := resolveScenarios(req.Scenarios)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 30
+	}
+	if runs < 0 || runs > maxTrainRunsPerScenario {
+		writeError(w, http.StatusBadRequest, "runs %d out of range [1,%d]", req.Runs, maxTrainRunsPerScenario)
+		return
+	}
+	if cells := len(scenarios) * runs; cells > maxTrainCells {
+		writeError(w, http.StatusBadRequest, "grid has %d cells (%d scenarios x %d runs), limit %d",
+			cells, len(scenarios), runs, maxTrainCells)
+		return
+	}
+	seed := uint64(2005)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	parallel := req.Parallel
+	if parallel <= 0 || parallel > s.cfg.Workers {
+		parallel = s.cfg.Workers
+	}
+
+	// Single flight: a sweep can be thousands of simulations, so a second
+	// concurrent one is shed (429) instead of stacking unbounded CPU work.
+	if !s.trainBusy.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "a batch training sweep is already running")
+		return
+	}
+	defer s.trainBusy.Store(false)
+
+	// A sweep can legitimately run longer than the server's slow-client
+	// write timeout; lift the per-response deadline (the admission gate above
+	// already bounds concurrent sweeps to one).
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+
+	// Streaming mode pushes the obs progress tracker's throttled status lines
+	// into the chunked response as the grid drains, then the result JSON as
+	// the final line. The tracker observes completions only, so streaming
+	// cannot perturb the trained profiles (DESIGN §6).
+	var pr *obs.Progress
+	if req.Stream {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		pr = obs.NewProgress(flushWriter{w: w, rc: rc}, "train_batch", 0)
+	}
+
+	type cellOut struct {
+		routes []routing.Route
+		err    error
+	}
+	grid := runner.MapGridWorkerProgress(parallel, len(scenarios), runs, pr,
+		func() struct{} { return struct{}{} },
+		func(o, i int, _ struct{}) cellOut {
+			routes, err := trainCell(scenarios[o], seed, i)
+			return cellOut{routes: routes, err: err}
+		})
+	pr.Finish()
+
+	results := make([]TrainBatchResult, len(scenarios))
+	for o, sc := range scenarios {
+		res := TrainBatchResult{Profile: sc.profile, Label: sc.label}
+		tr := sam.NewTrainer(sc.label, s.cfg.PMFBins)
+		for _, cell := range grid[o] {
+			if cell.err != nil {
+				res.Error = cell.err.Error()
+				break
+			}
+			tr.ObserveRoutes(cell.routes)
+		}
+		if res.Error == "" {
+			var installed int
+			var trainErr error
+			s.store.withResident(sc.profile, func(e *entry) {
+				installed, trainErr = e.retrain(tr)
+			})
+			res.Runs = installed
+			res.Trained = installed > 0 && trainErr == nil
+			if trainErr != nil {
+				res.Error = trainErr.Error()
+			} else if res.Trained {
+				s.metrics.trainings.Inc()
+			}
+		}
+		results[o] = res
+	}
+	s.enforceCap()
+
+	resp := TrainBatchResponse{
+		Scenarios: results,
+		Runs:      runs,
+		Cells:     len(scenarios) * runs,
+		Seed:      seed,
+	}
+	if req.Stream {
+		_ = writeJSONLine(w, resp)
+		_ = rc.Flush()
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flushWriter flushes the response after every progress line so streamed
+// clients see the sweep advance instead of one buffered burst at the end.
+type flushWriter struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil {
+		if ferr := fw.rc.Flush(); ferr != nil && ferr != http.ErrNotSupported {
+			// A failed flush means the client is gone; surface it so the
+			// progress tracker stops emitting.
+			return n, ferr
+		}
+	}
+	return n, err
+}
