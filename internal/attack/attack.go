@@ -88,7 +88,8 @@ func (b PayloadBehavior) String() string {
 // DropPolicy builds a sim.DropFunc implementing the payload behaviour of a
 // set of malicious nodes. Routing traffic (RREQ/RREP) always passes: the
 // wormhole behaves normally during routing, exactly the property that makes
-// it hard to detect. Only Data and ACK packets are dropped.
+// it hard to detect. Only payload packets (routing.PayloadPacket — Data,
+// ACK, and the verify probes) are dropped.
 type DropPolicy struct {
 	Malicious map[topology.NodeID]bool
 	Behavior  PayloadBehavior
@@ -105,9 +106,7 @@ func NewDropPolicy(malicious map[topology.NodeID]bool, b PayloadBehavior) *DropP
 // the simulation's own source for reproducibility.
 func (p *DropPolicy) Func(rng *rand.Rand) sim.DropFunc {
 	return func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
-		switch pkt.(type) {
-		case *routing.Data, *routing.ACK:
-		default:
+		if _, ok := pkt.(routing.PayloadPacket); !ok {
 			return false // routing traffic always passes
 		}
 		// A packet dies when a malicious node is asked to hand it onward

@@ -25,6 +25,7 @@ import (
 	"samnet/internal/sam"
 	"samnet/internal/sim"
 	"samnet/internal/topology"
+	"samnet/internal/verify"
 )
 
 // Config controls an experiment invocation.
@@ -42,6 +43,12 @@ type Config struct {
 	// results: seeds derive from grid coordinates and results merge in grid
 	// order regardless of the hook.
 	Progress runner.Progress
+	// Verify configures the step-2 probe engine the closed-loop experiment
+	// (verifyloop) drives. The zero value takes verify.Config defaults;
+	// fields follow that package's ExplicitZero convention, so
+	// Verify.MaxProbes = verify.ExplicitZero disables probing (and with it
+	// condemnation) entirely.
+	Verify verify.Config
 }
 
 func (c Config) withDefaults() Config {

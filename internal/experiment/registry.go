@@ -41,6 +41,7 @@ var Registry = []Definition{
 	{"adaptive", "extension", "Adaptive vs frozen profile on a drifting network", Adaptive},
 	{"roc", "extension", "Detector operating curve (threshold sweep)", ROC},
 	{"pdr", "extension", "Packet delivery ratio: oblivious vs detected vs isolated", PDR},
+	{"verifyloop", "extension", "Closed-loop IDS: detect, probe, isolate, re-route", VerifyLoop},
 }
 
 // ByID returns the experiment definition with the given id.

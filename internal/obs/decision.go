@@ -61,6 +61,23 @@ type Decision struct {
 	Suspect  DecisionLink `json:"suspect"`
 	Lambda   float64      `json:"lambda"`
 	Decision string       `json:"decision"`
+
+	// Kind distinguishes record flavours: empty for step-1 detection
+	// records, "verify" for step-2 probe verdicts.
+	Kind string `json:"kind,omitempty"`
+	// Likelihood and Evidence carry a verify record's probe outcome: the
+	// incriminating evidence mass fraction and the typed records behind it.
+	Likelihood float64            `json:"likelihood,omitempty"`
+	Evidence   []DecisionEvidence `json:"evidence,omitempty"`
+}
+
+// DecisionEvidence is one probe evidence record inside a verify decision,
+// flattened for JSON travel like the rest of the Decision schema.
+type DecisionEvidence struct {
+	Kind    string  `json:"kind"`
+	Route   string  `json:"route,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	At      float64 `json:"at"`
 }
 
 // DecisionRing retains the most recent decision records in a fixed-size

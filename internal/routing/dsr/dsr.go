@@ -23,6 +23,9 @@ type Protocol struct {
 	HopSlack int
 	// SuppressReplies skips the RREP phase (analysis-only runs).
 	SuppressReplies bool
+	// Avoid excludes nodes from discovery (routing.FloodConfig.Avoid) —
+	// the IDS's isolation list plugs in here.
+	Avoid func(topology.NodeID) bool
 }
 
 // Name implements routing.Protocol.
@@ -46,6 +49,7 @@ func (p *Protocol) Discover(net *sim.Network, src, dst topology.NodeID) *routing
 		WaitWindow:      p.WaitWindow,
 		HopSlack:        slack,
 		SuppressReplies: p.SuppressReplies,
+		Avoid:           p.Avoid,
 	})
 }
 

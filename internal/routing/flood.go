@@ -106,6 +106,11 @@ type FloodConfig struct {
 	// SuppressReplies skips the RREP phase entirely (used by analyses that
 	// only need the route set).
 	SuppressReplies bool
+	// Avoid excludes nodes from the flood: an avoided node neither forwards
+	// nor accepts request copies, so no discovered route traverses it. The
+	// IDS's step-3 isolation feeds condemned attackers in through this hook
+	// (verify.IsolationSet.Avoid). Nil means no exclusion.
+	Avoid func(topology.NodeID) bool
 }
 
 // pathArena stores every RREQ path of one discovery as a parent-linked
@@ -379,6 +384,11 @@ func (f *floodRun) refFor(q *RREQ) int32 {
 
 func (f *floodRun) recvRREQ(net *sim.Network, self, from topology.NodeID, q *RREQ) {
 	if q.ReqID != f.reqID || self == f.src {
+		return
+	}
+	// Isolation filter: copies at or from a condemned node die here, before
+	// any state is touched, so no collected route can traverse one.
+	if f.cfg.Avoid != nil && (f.cfg.Avoid(self) || f.cfg.Avoid(from)) {
 		return
 	}
 	if self == f.dst {

@@ -49,6 +49,9 @@ type Protocol struct {
 	HopSlack int
 	// SuppressReplies skips the RREP phase (analysis-only runs).
 	SuppressReplies bool
+	// Avoid excludes nodes from discovery (routing.FloodConfig.Avoid) —
+	// the IDS's isolation list plugs in here.
+	Avoid func(topology.NodeID) bool
 }
 
 // Defaults and sentinels for Protocol fields.
@@ -98,6 +101,7 @@ func (p *Protocol) Discover(net *sim.Network, src, dst topology.NodeID) *routing
 		WaitWindow:      p.WaitWindow,
 		HopSlack:        slack,
 		SuppressReplies: p.SuppressReplies,
+		Avoid:           p.Avoid,
 	})
 }
 

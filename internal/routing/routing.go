@@ -168,6 +168,15 @@ type RREP struct {
 	Pos   int
 }
 
+// PayloadPacket marks packet types that carry application payload rather
+// than routing control. Attack drop policies key on this marker: wormhole
+// attackers relay control traffic (to stay attractive) while destroying
+// payload, so any packet an attacker may legitimately destroy — Data, ACK,
+// and the verify package's challenge/proof probes — implements it.
+type PayloadPacket interface {
+	IsPayload()
+}
+
 // Data is a payload packet sent along a fixed source route — the probe
 // packets of SAM's step 2 use it. ACK acknowledges one back to the source.
 type Data struct {
@@ -176,12 +185,18 @@ type Data struct {
 	Pos   int
 }
 
+// IsPayload implements PayloadPacket.
+func (*Data) IsPayload() {}
+
 // ACK acknowledges a Data packet end-to-end along the reversed route.
 type ACK struct {
 	SeqNo uint64
 	Route Route // the original forward route; the ACK walks it backwards
 	Pos   int
 }
+
+// IsPayload implements PayloadPacket.
+func (*ACK) IsPayload() {}
 
 // Discovery is the outcome of one route discovery: the route set R the
 // destination observed, plus bookkeeping.

@@ -172,6 +172,77 @@ type TrainBatchResponse struct {
 	Seed      uint64             `json:"seed"`
 }
 
+// VerifyRequest is the body of POST /v1/verify: replay the step-2 probe
+// protocol against a suspect pair on a named scenario. The scenario grid
+// axes are the same as /v1/train/batch; the attack knobs control what the
+// simulated wormhole does to probe traffic.
+type VerifyRequest struct {
+	Scenario TrainScenarioJSON `json:"scenario"`
+	// Routes optionally supplies the route set to probe over (validated
+	// against the armed topology). Empty runs a server-side discovery.
+	Routes [][]int `json:"routes,omitempty"`
+	// Suspect is the accused pair; nil localizes via SAM over the routes.
+	Suspect *LinkJSON `json:"suspect,omitempty"`
+	// Wormholes is how many tunnels to install (nil → 1; 0 probes a clean
+	// network).
+	Wormholes *int `json:"wormholes,omitempty"`
+	// Behavior is the attackers' payload behaviour: "blackhole" (default),
+	// "greyhole", "forward", or "forge" (forward but answer probes with
+	// fabricated proofs).
+	Behavior string  `json:"behavior,omitempty"`
+	Seed     *uint64 `json:"seed,omitempty"`
+	// Timeout, Retries and MaxProbes map onto verify.Config with its
+	// ExplicitZero convention: 0 selects the default, -1 a true zero.
+	Timeout   float64 `json:"timeout,omitempty"`
+	Retries   int     `json:"retries,omitempty"`
+	MaxProbes int     `json:"max_probes,omitempty"`
+	// Isolate condemns the pair into the service's isolation list when the
+	// verdict clears the threshold.
+	Isolate bool `json:"isolate,omitempty"`
+}
+
+// EvidenceJSON is one probe evidence record on the wire.
+type EvidenceJSON struct {
+	Kind    string  `json:"kind"`
+	Route   []int   `json:"route,omitempty"`
+	ProbeID uint64  `json:"probe_id,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	At      float64 `json:"at"`
+}
+
+// VerifyResponse answers /v1/verify with the pair verdict.
+type VerifyResponse struct {
+	Label      string         `json:"label"`
+	Suspect    LinkJSON       `json:"suspect"`
+	Likelihood float64        `json:"likelihood"`
+	Condemned  bool           `json:"condemned"`
+	Probes     int            `json:"probes"`
+	Evidence   []EvidenceJSON `json:"evidence,omitempty"`
+	// Isolated reports whether the pair is on the isolation list after this
+	// request; IsolationSize the list's total pair count.
+	Isolated      bool   `json:"isolated"`
+	IsolationSize int    `json:"isolation_size"`
+	Seed          uint64 `json:"seed"`
+}
+
+// IsolatedPairJSON is one condemned pair in GET /v1/isolation.
+type IsolatedPairJSON struct {
+	Pair       LinkJSON `json:"pair"`
+	Likelihood float64  `json:"likelihood"`
+	Probes     int      `json:"probes"`
+}
+
+// IsolationResponse answers GET /v1/isolation.
+type IsolationResponse struct {
+	Pairs []IsolatedPairJSON `json:"pairs"`
+}
+
+// LiftResponse answers DELETE /v1/isolation/{a}/{b}.
+type LiftResponse struct {
+	Pair   LinkJSON `json:"pair"`
+	Lifted bool     `json:"lifted"`
+}
+
 // ProfileInfo describes one stored profile in GET /v1/profiles.
 type ProfileInfo struct {
 	Name    string `json:"name"`

@@ -31,6 +31,7 @@ func allowedStatus(code int) bool {
 	switch code {
 	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
 		http.StatusConflict, http.StatusRequestEntityTooLarge,
+		http.StatusUnprocessableEntity,
 		http.StatusTooManyRequests, http.StatusMethodNotAllowed,
 		// ServeMux path cleaning answers dirty paths ("//", "..") with a
 		// redirect before any handler runs.
@@ -64,6 +65,33 @@ func FuzzDetectDecoding(f *testing.F) {
 			if !allowedStatus(rec.Code) {
 				t.Fatalf("%s: status %d on body %q", path, rec.Code, body)
 			}
+		}
+	})
+}
+
+// FuzzVerifyRequestJSON throws arbitrary bytes at the /v1/verify decoder:
+// malformed bodies and impossible scenarios must map to clean 4xx answers,
+// and bodies that do decode must probe (a full scenario simulation) without
+// panicking.
+func FuzzVerifyRequestJSON(f *testing.F) {
+	mux := fuzzService(f)
+	f.Add(`{"scenario":{"topo":"cluster"}}`)
+	f.Add(`{"scenario":{"topo":"cluster","tier":2,"protocol":"dsr"},"behavior":"forge","isolate":true}`)
+	f.Add(`{"scenario":{"topo":"uniform6x6"},"routes":[[0,1,2]],"suspect":{"a":1,"b":2}}`)
+	f.Add(`{"scenario":{"topo":"cluster"},"wormholes":0,"behavior":"forward"}`)
+	f.Add(`{"scenario":{"topo":"cluster"},"timeout":-1,"retries":-1,"max_probes":-1}`)
+	f.Add(`{"scenario":{"topo":"nonesuch"}}`)
+	f.Add(`{"scenario":{"topo":"cluster"},"suspect":{"a":-5,"b":3}}`)
+	f.Add(`{"scenario":{"topo":"cluster"}`)
+	f.Add(`null`)
+	f.Add(`{"scenario":{"topo":"cluster"},"seed":18446744073709551615}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/v1/verify", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if !allowedStatus(rec.Code) {
+			t.Fatalf("verify: status %d on body %q", rec.Code, body)
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"samnet/internal/obs"
 	"samnet/internal/sam"
+	"samnet/internal/verify"
 )
 
 // metrics bundles the service's pre-resolved obs instruments. Every series is
@@ -22,6 +23,12 @@ type metrics struct {
 	detectPhi    *obs.Histogram
 	detectTV     *obs.Histogram
 	detectLambda *obs.Histogram
+
+	// Step-2 verification instruments: one counter per probe outcome, one
+	// per evidence kind, and the likelihood distribution.
+	verifications    map[string]*obs.Counter
+	verifyEvidence   [verify.PairIsolated + 1]*obs.Counter // indexed by verify.Kind
+	verifyLikelihood *obs.Histogram
 
 	// Profile-store lifecycle counters. Evictions are labelled by cause:
 	// an explicit DELETE, the idle-TTL sweep, or the max-profiles LRU cap.
@@ -49,6 +56,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 		"PMF total-variation distance from the trained profile per scored route set.", obs.RatioBuckets)
 	m.detectLambda = reg.Histogram("samserve_detect_lambda",
 		"Soft decision lambda per scored route set (0 attacked, 1 normal).", obs.RatioBuckets)
+	m.verifications = make(map[string]*obs.Counter, 4)
+	for _, outcome := range []string{"condemned", "cleared", "unproven", "refused"} {
+		m.verifications[outcome] = reg.Counter("samserve_verifications_total",
+			"Probe verifications served, by outcome.",
+			obs.Label{Key: "outcome", Value: outcome})
+	}
+	for k := verify.AckValid; k <= verify.PairIsolated; k++ {
+		m.verifyEvidence[k] = reg.Counter("samserve_verify_evidence_total",
+			"Probe evidence records produced, by kind.",
+			obs.Label{Key: "kind", Value: k.String()})
+	}
+	m.verifyLikelihood = reg.Histogram("samserve_verify_likelihood",
+		"Incriminating evidence mass fraction per verified pair.", obs.RatioBuckets)
 	m.trainings = reg.Counter("samserve_profile_trainings_total",
 		"Successful training requests.")
 	m.loads = reg.Counter("samserve_profile_loads_total",
@@ -66,6 +86,26 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m.snapshotErrs = reg.Counter("samserve_snapshot_errors_total",
 		"Snapshot write attempts that failed.")
 	return m
+}
+
+// observeVerify feeds one probe verdict into the verification instruments.
+func (m *metrics) observeVerify(v verify.Verdict, refused bool) {
+	outcome := "cleared"
+	switch {
+	case refused:
+		outcome = "refused"
+	case v.Condemned:
+		outcome = "condemned"
+	case len(v.Evidence) == 0:
+		outcome = "unproven"
+	}
+	m.verifications[outcome].Inc()
+	for _, e := range v.Evidence {
+		if int(e.Kind) < len(m.verifyEvidence) && m.verifyEvidence[e.Kind] != nil {
+			m.verifyEvidence[e.Kind].Inc()
+		}
+	}
+	m.verifyLikelihood.Observe(v.Likelihood)
 }
 
 // observeVerdict feeds one scored verdict into the detection instruments.

@@ -12,6 +12,9 @@
 //	POST   /v1/detect/batch          score many route sets on the worker pool
 //	POST   /v1/profiles/{name}/train feed normal route sets into the trainer
 //	POST   /v1/train/batch           deterministic server-side training sweep
+//	POST   /v1/verify                probe a suspect pair (step 2), optionally isolate (step 3)
+//	GET    /v1/isolation             list condemned pairs
+//	DELETE /v1/isolation/{a}/{b}     lift a condemned pair
 //	GET    /v1/profiles              list stored profiles
 //	GET    /v1/profiles/{name}       export a profile snapshot
 //	DELETE /v1/profiles/{name}       evict a profile from the store
@@ -36,6 +39,7 @@ import (
 
 	"samnet/internal/obs"
 	"samnet/internal/sam"
+	"samnet/internal/verify"
 )
 
 // Config tunes the service. The zero value selects sensible defaults.
@@ -65,6 +69,9 @@ type Config struct {
 	// GET /debug/decisions (default 256; negative disables capture, making
 	// the detect path record-free).
 	DecisionBuffer int
+	// Verify configures the probe engine behind POST /v1/verify; zero fields
+	// take the verify defaults (per-request knobs override).
+	Verify verify.Config
 	// ProfileTTL evicts profiles idle (no store lookup) for longer than this
 	// duration; 0 disables idle eviction.
 	ProfileTTL time.Duration
@@ -116,6 +123,9 @@ type Service struct {
 	// decisions retains recent decision records; nil when capture is
 	// disabled (DecisionBuffer < 0).
 	decisions *obs.DecisionRing
+	// iso is the service's isolation list: pairs condemned by /v1/verify
+	// with isolate=true, readable via /v1/isolation.
+	iso *verify.IsolationSet
 	// trainBusy is the batch-training single-flight gate: one server-side
 	// sweep at a time, later requests answer 429 instead of queueing sweeps.
 	trainBusy atomic.Bool
@@ -134,6 +144,7 @@ func New(cfg Config) *Service {
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(cfg.Registry),
 		detCfg:  cfg.Detector.WithDefaults(),
+		iso:     verify.NewIsolationSet(),
 	}
 	if cfg.DecisionBuffer > 0 {
 		s.decisions = obs.NewDecisionRing(cfg.DecisionBuffer)
@@ -151,12 +162,18 @@ func New(cfg Config) *Service {
 	cfg.Registry.GaugeFunc("samserve_decisions_recorded",
 		"Decision records accepted by the ring since start.",
 		func() float64 { return float64(s.decisions.Recorded()) })
+	cfg.Registry.GaugeFunc("samserve_isolated_pairs",
+		"Condemned pairs currently on the isolation list.",
+		func() float64 { return float64(s.iso.Len()) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", s.handleAnalyze))
 	mux.HandleFunc("POST /v1/detect", s.wrap("detect", s.handleDetect))
 	mux.HandleFunc("POST /v1/detect/batch", s.wrap("detect_batch", s.handleDetectBatch))
 	mux.HandleFunc("POST /v1/profiles/{name}/train", s.wrap("train", s.handleTrain))
 	mux.HandleFunc("POST /v1/train/batch", s.wrap("train_batch", s.handleTrainBatch))
+	mux.HandleFunc("POST /v1/verify", s.wrap("verify", s.handleVerify))
+	mux.HandleFunc("GET /v1/isolation", s.wrap("isolation", s.handleIsolation))
+	mux.HandleFunc("DELETE /v1/isolation/{a}/{b}", s.wrap("isolation_lift", s.handleIsolationLift))
 	mux.HandleFunc("GET /v1/profiles", s.wrap("profiles", s.handleListProfiles))
 	mux.HandleFunc("GET /v1/profiles/{name}", s.wrap("profile_get", s.handleGetProfile))
 	mux.HandleFunc("DELETE /v1/profiles/{name}", s.wrap("profile_delete", s.handleDeleteProfile))

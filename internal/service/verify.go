@@ -1,0 +1,253 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"samnet/internal/attack"
+	"samnet/internal/cli"
+	"samnet/internal/obs"
+	"samnet/internal/routing"
+	"samnet/internal/runner"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+	"samnet/internal/verify"
+)
+
+// Verification: POST /v1/verify replays the paper's step-2 probe protocol
+// against a suspect pair on a named scenario — the same deterministic
+// scenario grid /v1/train/batch sweeps — and answers with the evidence
+// verdict. With isolate=true a condemned pair lands on the service's
+// isolation list (step 3), visible via GET /v1/isolation and revocable via
+// DELETE /v1/isolation/{a}/{b}.
+//
+// Determinism: every random stream derives from (seed, scenario label) via
+// runner.DeriveSeed, exactly like batch training, so re-posting a request
+// reproduces the verdict bit for bit.
+
+// Validation caps bounding one verification request.
+const (
+	maxVerifyTimeout   = 1e6
+	maxVerifyRetries   = 16
+	maxVerifyMaxProbes = 64
+)
+
+// parseBehavior maps the wire behaviour to the attack model. "forge" is
+// forward-but-fabricate: payload passes, probe answers are forged.
+func parseBehavior(s string) (attack.PayloadBehavior, bool, error) {
+	switch s {
+	case "", "blackhole":
+		return attack.Blackhole, false, nil
+	case "greyhole":
+		return attack.Greyhole, false, nil
+	case "forward":
+		return attack.Forward, false, nil
+	case "forge":
+		return attack.Forward, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown behavior %q (want blackhole, greyhole, forward or forge)", s)
+}
+
+func evidenceJSON(evidence []verify.Evidence) []EvidenceJSON {
+	out := make([]EvidenceJSON, len(evidence))
+	for i, e := range evidence {
+		route := make([]int, len(e.Route))
+		for j, id := range e.Route {
+			route[j] = int(id)
+		}
+		out[i] = EvidenceJSON{
+			Kind:    e.Kind.String(),
+			Route:   route,
+			ProbeID: e.ProbeID,
+			Attempt: e.Attempt,
+			At:      float64(e.At),
+		}
+	}
+	return out
+}
+
+func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	scenarios, err := resolveScenarios([]TrainScenarioJSON{req.Scenario})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sc := scenarios[0]
+	behavior, forge, err := parseBehavior(req.Behavior)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Timeout > maxVerifyTimeout || req.Retries > maxVerifyRetries || req.MaxProbes > maxVerifyMaxProbes {
+		writeError(w, http.StatusBadRequest, "probe knobs out of range (timeout <= %g, retries <= %d, max_probes <= %d)",
+			float64(maxVerifyTimeout), maxVerifyRetries, maxVerifyMaxProbes)
+		return
+	}
+	seed := uint64(2005)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	// Build and arm the scenario exactly as batch training builds its cells:
+	// all randomness derives from (seed, label).
+	net, err := cli.BuildTopology(sc.topo, sc.tier, runner.DeriveSeed(seed, sc.label+"/topo", 0))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wormholes := 1
+	if req.Wormholes != nil {
+		wormholes = *req.Wormholes
+	}
+	if wormholes < 0 || wormholes > len(net.AttackerPairs) {
+		writeError(w, http.StatusBadRequest, "wormholes %d out of range [0,%d]", wormholes, len(net.AttackerPairs))
+		return
+	}
+	atk := attack.NewScenario(net, wormholes, behavior)
+	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: runner.DeriveSeed(seed, sc.label+"/sim", 0)})
+	atk.Arm(simNet)
+
+	// Route set: client-supplied (validated against the armed topology — the
+	// tunnels are topology links) or a server-side discovery.
+	var routes []routing.Route
+	if len(req.Routes) > 0 {
+		routes, err = decodeRoutes(req.Routes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for i, rt := range routes {
+			for _, id := range rt {
+				if int(id) >= net.Topo.N() {
+					writeError(w, http.StatusUnprocessableEntity,
+						"route %d: node %d outside the %d-node scenario topology", i, id, net.Topo.N())
+					return
+				}
+			}
+			if !rt.Valid(net.Topo) {
+				writeError(w, http.StatusUnprocessableEntity,
+					"route %d (%s) is not connected in the scenario topology", i, rt)
+				return
+			}
+		}
+	} else {
+		src, dst := net.PickPair(runner.StreamRNG(seed, sc.label+"/pair", 0))
+		routes = sc.proto.Discover(simNet, src, dst).Routes
+	}
+
+	// The accused pair: explicit, or SAM's localization over the route set.
+	var pair topology.Link
+	if req.Suspect != nil {
+		if req.Suspect.A < 0 || req.Suspect.B < 0 ||
+			req.Suspect.A >= net.Topo.N() || req.Suspect.B >= net.Topo.N() || req.Suspect.A == req.Suspect.B {
+			writeError(w, http.StatusUnprocessableEntity, "suspect %d-%d outside the %d-node scenario topology",
+				req.Suspect.A, req.Suspect.B, net.Topo.N())
+			return
+		}
+		pair = topology.MkLink(topology.NodeID(req.Suspect.A), topology.NodeID(req.Suspect.B))
+	} else {
+		st := sam.Analyze(routes)
+		if st.N == 0 {
+			writeError(w, http.StatusUnprocessableEntity, "no routes to localize a suspect from")
+			return
+		}
+		pair = st.Suspect
+	}
+
+	cfg := s.cfg.Verify
+	if req.Timeout != 0 {
+		cfg.Timeout = sim.Time(req.Timeout)
+	}
+	if req.Retries != 0 {
+		cfg.Retries = req.Retries
+	}
+	if req.MaxProbes != 0 {
+		cfg.MaxProbes = req.MaxProbes
+	}
+	if forge {
+		cfg.Forgers = atk.MaliciousNodes()
+	}
+
+	refused := s.iso.Isolated(pair)
+	v := verify.Probe(simNet, pair, routes, cfg, s.iso)
+	isolated := refused
+	if req.Isolate && v.Condemned && !refused {
+		s.iso.Condemn(v)
+		isolated = true
+	}
+
+	s.metrics.observeVerify(v, refused)
+	if s.decisions.Enabled() {
+		rec := obs.Decision{
+			Kind:       "verify",
+			Routes:     len(routes),
+			Suspect:    obs.DecisionLink{A: int(pair.A), B: int(pair.B)},
+			Likelihood: v.Likelihood,
+			Decision:   verifyOutcome(v, refused),
+			Evidence:   make([]obs.DecisionEvidence, len(v.Evidence)),
+		}
+		for i, e := range v.Evidence {
+			rec.Evidence[i] = obs.DecisionEvidence{
+				Kind: e.Kind.String(), Route: e.Route.String(), Attempt: e.Attempt, At: float64(e.At),
+			}
+		}
+		s.decisions.Record(rec)
+	}
+
+	writeJSON(w, http.StatusOK, VerifyResponse{
+		Label:         sc.label,
+		Suspect:       linkJSON(pair),
+		Likelihood:    v.Likelihood,
+		Condemned:     v.Condemned,
+		Probes:        v.Probes,
+		Evidence:      evidenceJSON(v.Evidence),
+		Isolated:      isolated,
+		IsolationSize: s.iso.Len(),
+		Seed:          seed,
+	})
+}
+
+// verifyOutcome names a verdict for decision records, mirroring the metric
+// outcome label.
+func verifyOutcome(v verify.Verdict, refused bool) string {
+	switch {
+	case refused:
+		return "refused"
+	case v.Condemned:
+		return "condemned"
+	case len(v.Evidence) == 0:
+		return "unproven"
+	}
+	return "cleared"
+}
+
+func (s *Service) handleIsolation(w http.ResponseWriter, r *http.Request) {
+	verdicts := s.iso.Pairs()
+	pairs := make([]IsolatedPairJSON, len(verdicts))
+	for i, v := range verdicts {
+		pairs[i] = IsolatedPairJSON{Pair: linkJSON(v.Pair), Likelihood: v.Likelihood, Probes: v.Probes}
+	}
+	writeJSON(w, http.StatusOK, IsolationResponse{Pairs: pairs})
+}
+
+func (s *Service) handleIsolationLift(w http.ResponseWriter, r *http.Request) {
+	a, errA := strconv.Atoi(r.PathValue("a"))
+	b, errB := strconv.Atoi(r.PathValue("b"))
+	if errA != nil || errB != nil || a < 0 || b < 0 || a == b {
+		writeError(w, http.StatusBadRequest, "isolation pair must be two distinct non-negative node ids")
+		return
+	}
+	pair := topology.MkLink(topology.NodeID(a), topology.NodeID(b))
+	if !s.iso.Lift(pair) {
+		writeError(w, http.StatusNotFound, "pair %s is not isolated", pair)
+		return
+	}
+	writeJSON(w, http.StatusOK, LiftResponse{Pair: linkJSON(pair), Lifted: true})
+}

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// verifyPost posts one /v1/verify body and decodes the response.
+func verifyPost(t *testing.T, mux http.Handler, body string) (int, VerifyResponse) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/verify", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var resp VerifyResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("decoding response: %v (%s)", err, rec.Body)
+		}
+	}
+	return rec.Code, resp
+}
+
+// TestVerifyCondemnsBlackhole drives the whole loop over the API: a
+// blackhole scenario's probes all time out, the pair is condemned and (with
+// isolate set) lands on the isolation list.
+func TestVerifyCondemnsBlackhole(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	mux := svc.Handler()
+
+	code, resp := verifyPost(t, mux, `{"scenario":{"topo":"cluster"},"isolate":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Label != "cluster-1tier/MR" {
+		t.Errorf("label = %q", resp.Label)
+	}
+	if !resp.Condemned || resp.Likelihood != 1 || !resp.Isolated || resp.IsolationSize != 1 {
+		t.Fatalf("response = %+v, want condemned and isolated", resp)
+	}
+	if resp.Probes == 0 || len(resp.Evidence) == 0 {
+		t.Fatalf("response = %+v, want probes and evidence", resp)
+	}
+	for _, e := range resp.Evidence {
+		if e.Kind != "ack-missing" {
+			t.Errorf("evidence kind %q, want ack-missing", e.Kind)
+		}
+	}
+
+	// The isolation list reports the condemned pair.
+	req := httptest.NewRequest("GET", "/v1/isolation", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var iso IsolationResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &iso); err != nil || len(iso.Pairs) != 1 {
+		t.Fatalf("isolation = %s (err %v), want one pair", rec.Body, err)
+	}
+	if iso.Pairs[0].Pair != resp.Suspect {
+		t.Errorf("isolated %+v, condemned %+v", iso.Pairs[0].Pair, resp.Suspect)
+	}
+
+	// Re-verifying the same pair is refused as already isolated.
+	code, again := verifyPost(t, mux, `{"scenario":{"topo":"cluster"},"isolate":true}`)
+	if code != http.StatusOK || !again.Isolated || again.Probes != 0 {
+		t.Fatalf("re-verify = %d %+v, want probe-free refusal", code, again)
+	}
+	if len(again.Evidence) != 1 || again.Evidence[0].Kind != "pair-isolated" {
+		t.Fatalf("re-verify evidence = %+v, want pair-isolated", again.Evidence)
+	}
+
+	// Lifting restores the pair; a second lift 404s.
+	target := fmt.Sprintf("/v1/isolation/%d/%d", iso.Pairs[0].Pair.A, iso.Pairs[0].Pair.B)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("DELETE", target, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lift: status %d %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("DELETE", target, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("second lift: status %d, want 404", rec.Code)
+	}
+}
+
+// TestVerifyClearsForwardingAttackers: a forwarding wormhole relays the
+// probes faithfully, so the accused pair is cleared, not condemned.
+func TestVerifyClearsForwardingAttackers(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	code, resp := verifyPost(t, svc.Handler(),
+		`{"scenario":{"topo":"cluster"},"behavior":"forward","isolate":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Condemned || resp.Isolated || resp.Likelihood != 0 {
+		t.Fatalf("response = %+v, want cleared", resp)
+	}
+	for _, e := range resp.Evidence {
+		if e.Kind != "ack-valid" {
+			t.Errorf("evidence kind %q, want ack-valid", e.Kind)
+		}
+	}
+}
+
+// TestVerifyCondemnsForger: forge behaviour forwards payload but fabricates
+// probe answers; the MAC check condemns via proof-invalid evidence.
+func TestVerifyCondemnsForger(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	code, resp := verifyPost(t, svc.Handler(), `{"scenario":{"topo":"cluster"},"behavior":"forge"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Condemned {
+		t.Fatalf("response = %+v, want condemned", resp)
+	}
+	invalid := 0
+	for _, e := range resp.Evidence {
+		if e.Kind == "proof-invalid" {
+			invalid++
+		}
+	}
+	if invalid == 0 {
+		t.Fatalf("evidence = %+v, want proof-invalid records", resp.Evidence)
+	}
+	if resp.Isolated || resp.IsolationSize != 0 {
+		t.Fatalf("response = %+v: isolate not requested but pair isolated", resp)
+	}
+}
+
+// TestVerifyDeterministic: identical requests reproduce the verdict bit for
+// bit, including evidence timestamps.
+func TestVerifyDeterministic(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	body := `{"scenario":{"topo":"uniform6x6","protocol":"dsr"},"behavior":"greyhole","seed":7}`
+	_, a := verifyPost(t, svc.Handler(), body)
+	_, b := verifyPost(t, svc.Handler(), body)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("verdicts differ:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestVerifyExplicitZeroKnobs: max_probes -1 is a true zero (no probes), per
+// the ExplicitZero convention the request fields inherit from verify.Config.
+func TestVerifyExplicitZeroKnobs(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	code, resp := verifyPost(t, svc.Handler(), `{"scenario":{"topo":"cluster"},"max_probes":-1}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Probes != 0 || resp.Condemned || resp.Likelihood != 0.5 {
+		t.Fatalf("response = %+v, want unproven 0.5 prior", resp)
+	}
+}
+
+// TestVerifyRejections pins the refusal statuses: bad scenario/behaviour/
+// knobs are 400, semantically impossible routes and suspects are 422.
+func TestVerifyRejections(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	mux := svc.Handler()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown topo", `{"scenario":{"topo":"nonesuch"}}`, http.StatusBadRequest},
+		{"unknown behavior", `{"scenario":{"topo":"cluster"},"behavior":"teleport"}`, http.StatusBadRequest},
+		{"retries cap", `{"scenario":{"topo":"cluster"},"retries":99}`, http.StatusBadRequest},
+		{"timeout cap", `{"scenario":{"topo":"cluster"},"timeout":1e9}`, http.StatusBadRequest},
+		{"wormhole count", `{"scenario":{"topo":"cluster"},"wormholes":99}`, http.StatusBadRequest},
+		{"trailing garbage", `{"scenario":{"topo":"cluster"}}{}`, http.StatusBadRequest},
+		{"route off topology", `{"scenario":{"topo":"cluster"},"routes":[[0,999999]]}`, http.StatusUnprocessableEntity},
+		{"route not connected", `{"scenario":{"topo":"cluster"},"routes":[[0,1,0,5]],"suspect":{"a":0,"b":1}}`, http.StatusUnprocessableEntity},
+		{"suspect off topology", `{"scenario":{"topo":"cluster"},"suspect":{"a":0,"b":999999}}`, http.StatusUnprocessableEntity},
+		{"suspect self link", `{"scenario":{"topo":"cluster"},"suspect":{"a":3,"b":3}}`, http.StatusUnprocessableEntity},
+		{"no routes to localize", `{"scenario":{"topo":"cluster"},"routes":[[]]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _ := verifyPost(t, mux, tc.body)
+			if code != tc.want {
+				t.Fatalf("status %d, want %d", code, tc.want)
+			}
+		})
+	}
+}
+
+// TestVerifyMetricsAndDecisions: a verification shows up in the metrics
+// exposition and the decision ring with kind "verify".
+func TestVerifyMetricsAndDecisions(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	mux := svc.Handler()
+	if code, _ := verifyPost(t, mux, `{"scenario":{"topo":"cluster"},"isolate":true}`); code != http.StatusOK {
+		t.Fatalf("verify failed: %d", code)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, line := range []string{
+		`samserve_verifications_total{outcome="condemned"} 1`,
+		`samserve_verify_evidence_total{kind="ack-missing"}`,
+		`samserve_isolated_pairs 1`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("metrics exposition missing %q", line)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/decisions", nil))
+	var dr DecisionsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil {
+		t.Fatalf("decisions decode: %v", err)
+	}
+	found := false
+	for _, d := range dr.Decisions {
+		if d.Kind == "verify" {
+			found = true
+			if d.Likelihood != 1 || d.Decision != "condemned" || len(d.Evidence) == 0 {
+				t.Errorf("verify decision record = %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no verify decision record captured")
+	}
+}

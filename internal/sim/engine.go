@@ -22,14 +22,24 @@ type Time float64
 // Forever is a time later than any event a simulation schedules.
 const Forever Time = Time(math.MaxFloat64)
 
-// event is one queue entry. The hot path — packet delivery — is a concrete
-// struct dispatched by the engine itself (fn == nil), so delivering a packet
-// allocates nothing. Schedule'd callbacks ride the same queue with fn set.
+// TimerHandler receives timer events scheduled with ScheduleTimer. The id is
+// whatever the scheduler passed — protocol timeout wheels (the verify probe
+// engine's retry timers) key their pending state on it.
+type TimerHandler interface {
+	Timer(id uint64)
+}
+
+// event is one queue entry. The hot paths — packet delivery and protocol
+// timers — are concrete structs dispatched by the engine itself (fn == nil),
+// so delivering a packet or firing a timeout allocates nothing. Schedule'd
+// callbacks ride the same queue with fn set.
 type event struct {
 	at   Time
 	seq  uint64
-	fn   func() // slow path: scheduled callback; nil for deliveries
+	fn   func() // slow path: scheduled callback; nil for deliveries/timers
 	pkt  Packet
+	th   TimerHandler // timer events: receiver of tid; nil for deliveries
+	tid  uint64
 	from topology.NodeID
 	to   topology.NodeID
 }
@@ -75,6 +85,21 @@ func (e *Engine) Schedule(d Time, fn func()) {
 func (e *Engine) scheduleDelivery(d Time, from, to topology.NodeID, pkt Packet) {
 	e.seq++
 	e.push(event{at: e.now + d, seq: e.seq, pkt: pkt, from: from, to: to})
+}
+
+// ScheduleTimer fires h.Timer(id) after delay d. Like deliveries (and unlike
+// Schedule's closures) the timer rides the heap as a concrete event, so
+// arming a timeout allocates nothing. Ties against deliveries at the same
+// instant resolve by scheduling order, as for every other event.
+func (e *Engine) ScheduleTimer(d Time, h TimerHandler, id uint64) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	if h == nil {
+		panic("sim: nil timer handler")
+	}
+	e.seq++
+	e.push(event{at: e.now + d, seq: e.seq, th: h, tid: id})
 }
 
 // reset rewinds the engine to its zero state, keeping the queue's capacity.
@@ -143,6 +168,10 @@ func (e *Engine) fire(ev *event) {
 	e.processed++
 	if ev.fn != nil {
 		ev.fn()
+		return
+	}
+	if ev.th != nil {
+		ev.th.Timer(ev.tid)
 		return
 	}
 	e.net.dispatch(ev.from, ev.to, ev.pkt)

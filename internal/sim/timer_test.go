@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+// timerLog records Timer callbacks for assertions.
+type timerLog struct {
+	e   *Engine
+	ids []uint64
+	ats []Time
+}
+
+func (l *timerLog) Timer(id uint64) {
+	l.ids = append(l.ids, id)
+	l.ats = append(l.ats, l.e.Now())
+}
+
+func TestScheduleTimerFiresInOrder(t *testing.T) {
+	var e Engine
+	l := &timerLog{e: &e}
+	e.ScheduleTimer(5, l, 1)
+	e.ScheduleTimer(2, l, 2)
+	e.ScheduleTimer(2, l, 3) // tie with id 2: scheduling order wins
+	e.Run()
+	want := []uint64{2, 3, 1}
+	if len(l.ids) != len(want) {
+		t.Fatalf("fired %v, want %v", l.ids, want)
+	}
+	for i := range want {
+		if l.ids[i] != want[i] {
+			t.Fatalf("fired %v, want %v", l.ids, want)
+		}
+	}
+	if l.ats[0] != 2 || l.ats[1] != 2 || l.ats[2] != 5 {
+		t.Fatalf("fire times %v, want [2 2 5]", l.ats)
+	}
+}
+
+func TestScheduleTimerInterleavesWithCallbacks(t *testing.T) {
+	var e Engine
+	l := &timerLog{e: &e}
+	var order []string
+	e.Schedule(3, func() { order = append(order, "fn") })
+	e.ScheduleTimer(3, l, 7) // same instant, scheduled second: fires second
+	e.RunUntil(3)
+	if len(order) != 1 || len(l.ids) != 1 {
+		t.Fatalf("fn fired %d times, timer %d times", len(order), len(l.ids))
+	}
+	if e.Processed() != 2 {
+		t.Fatalf("Processed = %d, want 2", e.Processed())
+	}
+}
+
+func TestScheduleTimerPanics(t *testing.T) {
+	var e Engine
+	l := &timerLog{e: &e}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative delay", func() { e.ScheduleTimer(-1, l, 1) })
+	mustPanic("nil handler", func() { e.ScheduleTimer(1, nil, 1) })
+}
+
+// TestScheduleTimerNoAlloc pins the zero-alloc property: once the heap has
+// capacity, arming and firing a timer allocates nothing — timers share the
+// delivery events' concrete-struct fast path.
+func TestScheduleTimerNoAlloc(t *testing.T) {
+	var e Engine
+	l := &timerLog{e: &e}
+	l.ids = make([]uint64, 0, 1024)
+	l.ats = make([]Time, 0, 1024)
+	// Prime heap capacity.
+	for i := 0; i < 64; i++ {
+		e.ScheduleTimer(1, l, uint64(i))
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleTimer(1, l, 42)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("timer schedule+fire allocates %.1f times", allocs)
+	}
+}

@@ -1,0 +1,36 @@
+package verify
+
+import (
+	"bytes"
+	"testing"
+
+	"samnet/internal/routing"
+	"samnet/internal/topology"
+)
+
+// FuzzProofVerify throws arbitrary keys, identifiers, routes and candidate
+// MACs at the proof parser: it must never panic, must accept exactly the
+// genuine proof, and must reject every length violation.
+func FuzzProofVerify(f *testing.F) {
+	f.Add([]byte("k"), uint64(1), uint64(2), []byte{0, 1, 2}, []byte("0123456789abcdef"))
+	f.Add([]byte{}, uint64(0), uint64(0), []byte{}, []byte{})
+	f.Add([]byte("key"), ^uint64(0), uint64(7), []byte{255, 0, 255}, []byte("short"))
+	f.Add(DefaultKey, uint64(3), uint64(4), []byte{1}, make([]byte, 64))
+	f.Fuzz(func(t *testing.T, key []byte, probeID, nonce uint64, routeBytes, candidate []byte) {
+		route := make(routing.Route, len(routeBytes))
+		for i, b := range routeBytes {
+			route[i] = topology.NodeID(b)
+		}
+		genuine := ComputeProof(key, probeID, nonce, route)
+		if len(genuine) != ProofSize {
+			t.Fatalf("ComputeProof length = %d", len(genuine))
+		}
+		if !VerifyProof(key, probeID, nonce, route, genuine) {
+			t.Fatal("genuine proof rejected")
+		}
+		ok := VerifyProof(key, probeID, nonce, route, candidate)
+		if ok != bytes.Equal(candidate, genuine) {
+			t.Fatalf("VerifyProof = %v for candidate %x (genuine %x)", ok, candidate, genuine)
+		}
+	})
+}

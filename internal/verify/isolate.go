@@ -1,0 +1,118 @@
+package verify
+
+import (
+	"sort"
+	"sync"
+
+	"samnet/internal/topology"
+)
+
+// IsolationSet is the IDS's step-3 output: the set of condemned node pairs
+// and, derived from it, the node set route discovery must avoid. Its Avoid
+// method has the routing.FloodConfig.Avoid signature, so plugging isolation
+// into a protocol is one field assignment. All methods are safe for
+// concurrent use; read methods are additionally nil-safe (a nil set
+// isolates nothing), so callers without an isolation policy pass nil.
+type IsolationSet struct {
+	mu    sync.RWMutex
+	pairs map[topology.Link]Verdict
+	nodes map[topology.NodeID]int // refcount: pairs sharing a node
+}
+
+// NewIsolationSet returns an empty isolation set.
+func NewIsolationSet() *IsolationSet {
+	return &IsolationSet{
+		pairs: make(map[topology.Link]Verdict),
+		nodes: make(map[topology.NodeID]int),
+	}
+}
+
+// Condemn puts a verdict's pair on the isolation list. It panics if the
+// verdict is not condemned: an exonerated pair has no business here. Re-
+// condemning a pair replaces its verdict.
+func (s *IsolationSet) Condemn(v Verdict) {
+	if !v.Condemned {
+		panic("verify: condemning an uncondemned verdict")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pairs[v.Pair]; !ok {
+		s.nodes[v.Pair.A]++
+		s.nodes[v.Pair.B]++
+	}
+	s.pairs[v.Pair] = v
+}
+
+// Lift removes a pair from the isolation list (e.g. a condemned verdict
+// overturned by operator review) and reports whether it was present.
+func (s *IsolationSet) Lift(pair topology.Link) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pairs[pair]; !ok {
+		return false
+	}
+	delete(s.pairs, pair)
+	for _, id := range [2]topology.NodeID{pair.A, pair.B} {
+		if s.nodes[id]--; s.nodes[id] == 0 {
+			delete(s.nodes, id)
+		}
+	}
+	return true
+}
+
+// Isolated reports whether the pair is condemned.
+func (s *IsolationSet) Isolated(pair topology.Link) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.pairs[pair]
+	return ok
+}
+
+// IsolatedNode reports whether id belongs to any condemned pair.
+func (s *IsolationSet) IsolatedNode(id topology.NodeID) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes[id] > 0
+}
+
+// Avoid is IsolatedNode under the routing.FloodConfig.Avoid contract:
+// assign it to a protocol's Avoid field and discovery refuses routes
+// through condemned attackers.
+func (s *IsolationSet) Avoid(id topology.NodeID) bool { return s.IsolatedNode(id) }
+
+// Len returns the number of condemned pairs.
+func (s *IsolationSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pairs)
+}
+
+// Pairs returns the condemned verdicts ordered by pair, for deterministic
+// reporting.
+func (s *IsolationSet) Pairs() []Verdict {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]Verdict, 0, len(s.pairs))
+	for _, v := range s.pairs {
+		out = append(out, v)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}

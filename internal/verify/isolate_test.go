@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"sync"
+	"testing"
+
+	"samnet/internal/topology"
+)
+
+func condemned(a, b topology.NodeID) Verdict {
+	return Verdict{Pair: topology.MkLink(a, b), Likelihood: 1, Condemned: true}
+}
+
+func TestIsolationSetLifecycle(t *testing.T) {
+	iso := NewIsolationSet()
+	if iso.Len() != 0 || iso.Isolated(topology.MkLink(1, 2)) {
+		t.Fatal("fresh set is not empty")
+	}
+	iso.Condemn(condemned(1, 2))
+	iso.Condemn(condemned(2, 3)) // shares node 2
+	if iso.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", iso.Len())
+	}
+	for _, id := range []topology.NodeID{1, 2, 3} {
+		if !iso.IsolatedNode(id) || !iso.Avoid(id) {
+			t.Errorf("node %d not isolated", id)
+		}
+	}
+	if iso.IsolatedNode(0) {
+		t.Error("node 0 isolated")
+	}
+
+	// Lifting one pair keeps the shared node isolated via the other.
+	if !iso.Lift(topology.MkLink(1, 2)) {
+		t.Fatal("Lift returned false for present pair")
+	}
+	if iso.IsolatedNode(1) {
+		t.Error("node 1 still isolated after lift")
+	}
+	if !iso.IsolatedNode(2) {
+		t.Error("node 2 lost isolation while pair 2-3 stands")
+	}
+	if iso.Lift(topology.MkLink(1, 2)) {
+		t.Error("Lift returned true for absent pair")
+	}
+}
+
+func TestIsolationSetPairsSorted(t *testing.T) {
+	iso := NewIsolationSet()
+	iso.Condemn(condemned(7, 8))
+	iso.Condemn(condemned(0, 9))
+	iso.Condemn(condemned(0, 3))
+	var prev topology.Link
+	for i, v := range iso.Pairs() {
+		if i > 0 && (v.Pair.A < prev.A || (v.Pair.A == prev.A && v.Pair.B < prev.B)) {
+			t.Fatalf("Pairs out of order at %d: %v after %v", i, v.Pair, prev)
+		}
+		prev = v.Pair
+	}
+	if got := len(iso.Pairs()); got != 3 {
+		t.Fatalf("len(Pairs) = %d, want 3", got)
+	}
+}
+
+func TestIsolationSetNilReads(t *testing.T) {
+	var iso *IsolationSet
+	if iso.Isolated(topology.MkLink(1, 2)) || iso.IsolatedNode(1) || iso.Avoid(1) {
+		t.Fatal("nil set isolates something")
+	}
+	if iso.Len() != 0 || iso.Pairs() != nil {
+		t.Fatal("nil set is not empty")
+	}
+}
+
+func TestIsolationSetCondemnPanicsOnUncondemned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Condemn accepted an uncondemned verdict")
+		}
+	}()
+	NewIsolationSet().Condemn(Verdict{Pair: topology.MkLink(1, 2)})
+}
+
+// TestIsolationSetConcurrent exercises the lock paths under the race
+// detector.
+func TestIsolationSetConcurrent(t *testing.T) {
+	iso := NewIsolationSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := topology.NodeID(g)
+				b := topology.NodeID(g + 10 + i%3)
+				iso.Condemn(condemned(a, b))
+				iso.Isolated(topology.MkLink(a, b))
+				iso.IsolatedNode(a)
+				iso.Len()
+				iso.Pairs()
+				iso.Lift(topology.MkLink(a, b))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

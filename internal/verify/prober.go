@@ -1,0 +1,139 @@
+package verify
+
+import (
+	"samnet/internal/routing"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// Challenge is the probe request walking a source route toward the
+// destination. It is payload (attackers may drop it) — that is the point:
+// a wormhole that destroys payload destroys the challenge, and the missing
+// proof becomes evidence.
+type Challenge struct {
+	ProbeID uint64
+	Nonce   uint64
+	Route   routing.Route
+	Pos     int // index into Route of the current holder
+}
+
+// IsPayload implements routing.PayloadPacket.
+func (*Challenge) IsPayload() {}
+
+// Proof is the destination's answer walking the route back to the source:
+// the HMAC over (probe id, nonce, route) under the shared key.
+type Proof struct {
+	ProbeID uint64
+	MAC     []byte
+	Route   routing.Route // the forward route; the proof walks it backwards
+	Pos     int
+}
+
+// IsPayload implements routing.PayloadPacket.
+func (*Proof) IsPayload() {}
+
+// prober is the per-probe sim.Handler and sim.TimerHandler: it relays
+// challenges out, answers at the destination, relays proofs back, feeds the
+// session state machine at the source, and resends on retry timeouts.
+type prober struct {
+	cfg Config
+	net *sim.Network
+	ses *session
+}
+
+// Recv implements sim.Handler.
+func (p *prober) Recv(net *sim.Network, self, from topology.NodeID, pkt sim.Packet) {
+	switch c := pkt.(type) {
+	case *Challenge:
+		p.recvChallenge(net, self, c)
+	case *Proof:
+		p.recvProof(net, self, c)
+	}
+}
+
+func (p *prober) recvChallenge(net *sim.Network, self topology.NodeID, c *Challenge) {
+	if c.Pos >= len(c.Route) || c.Route[c.Pos] != self {
+		return
+	}
+	last := len(c.Route) - 1
+	if p.cfg.Forgers[self] && c.Pos > 0 && c.Pos < last {
+		// Byzantine intermediary: swallow the challenge and answer in the
+		// destination's stead. Without the key the MAC cannot verify.
+		forged := make([]byte, ProofSize)
+		net.Unicast(self, c.Route[c.Pos-1], &Proof{ProbeID: c.ProbeID, MAC: forged, Route: c.Route, Pos: c.Pos - 1})
+		return
+	}
+	if c.Pos == last {
+		mac := ComputeProof(p.cfg.Key, c.ProbeID, c.Nonce, c.Route)
+		net.Unicast(self, c.Route[last-1], &Proof{ProbeID: c.ProbeID, MAC: mac, Route: c.Route, Pos: last - 1})
+		return
+	}
+	// Relay in place, like RREP/Data: one holder at a time.
+	c.Pos++
+	net.Unicast(self, c.Route[c.Pos], c)
+}
+
+func (p *prober) recvProof(net *sim.Network, self topology.NodeID, c *Proof) {
+	if c.Pos >= len(c.Route) || c.Route[c.Pos] != self {
+		return
+	}
+	if c.Pos == 0 {
+		p.ses.onProof(c.ProbeID, c.MAC, net.Now())
+		return
+	}
+	c.Pos--
+	net.Unicast(self, c.Route[c.Pos], c)
+}
+
+// Timer implements sim.TimerHandler: a probe's retry timer fired.
+func (p *prober) Timer(id uint64) {
+	if !p.ses.onTimeout(id, p.net.Now()) {
+		return
+	}
+	a := p.ses.attempts[id]
+	p.send(id, a)
+}
+
+// send transmits (or re-transmits) the challenge for one attempt and arms
+// its timer.
+func (p *prober) send(id uint64, a *attempt) {
+	p.net.Unicast(a.route[0], a.route[1], &Challenge{ProbeID: id, Nonce: a.nonce, Route: a.route, Pos: 1})
+	p.net.ScheduleTimer(p.cfg.Timeout, p, id)
+}
+
+// Probe walks the suspect pair with challenge–response probes over net and
+// returns the evidence verdict. routes is the discovered route set; up to
+// cfg.MaxProbes routes traversing the pair are probed (a pair no route
+// crosses yields no evidence — likelihood 0.5, not condemned). If iso
+// already isolates the pair the probe is refused with a PairIsolated
+// verdict. Probe installs its own handlers on every node for the duration
+// and clears them before returning; it never mutates iso — condemning a
+// verdict into an IsolationSet is the caller's decision.
+func Probe(net *sim.Network, pair topology.Link, routes []routing.Route, cfg Config, iso *IsolationSet) Verdict {
+	cfg = cfg.WithDefaults()
+	if iso.Isolated(pair) {
+		ev := []Evidence{{Kind: PairIsolated, Pair: pair, At: net.Now()}}
+		return Verdict{Pair: pair, Likelihood: 1, Condemned: true, Evidence: ev}
+	}
+	ses := newSession(cfg, pair)
+	pr := &prober{cfg: cfg, net: net, ses: ses}
+	net.SetAllHandlers(pr)
+	n := 0
+	for _, r := range routes {
+		if n >= cfg.MaxProbes {
+			break
+		}
+		if len(r) < 2 || !r.ContainsLink(pair) {
+			continue
+		}
+		n++
+		id := net.NextID()
+		// Nonces come from the simulation's own source: reproducible per
+		// seed, opaque to the (simulated) adversary.
+		ses.start(id, net.Rand().Uint64(), r.Clone(), net.Now()+cfg.Timeout)
+		pr.send(id, ses.attempts[id])
+	}
+	net.Run()
+	net.SetAllHandlers(nil)
+	return ses.judge()
+}

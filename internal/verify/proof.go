@@ -1,0 +1,42 @@
+package verify
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"samnet/internal/routing"
+)
+
+// ProofSize is the truncated HMAC length carried in Proof packets. 128 bits
+// keeps forgery infeasible while halving the on-air bytes, the usual
+// truncated-HMAC trade (RFC 2104 §5).
+const ProofSize = 16
+
+// ComputeProof returns the HMAC-SHA256 proof (truncated to ProofSize) a
+// destination owes for a challenge: keyed over the probe id, the nonce, and
+// every node of the route, so a proof cannot be replayed for a different
+// probe or spliced onto a different path.
+func ComputeProof(key []byte, probeID, nonce uint64, route routing.Route) []byte {
+	mac := hmac.New(sha256.New, key)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], probeID)
+	mac.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], nonce)
+	mac.Write(buf[:])
+	for _, id := range route {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(id)))
+		mac.Write(buf[:])
+	}
+	return mac.Sum(nil)[:ProofSize]
+}
+
+// VerifyProof reports whether proof is the valid MAC for the given probe.
+// Truncated, oversized or forged proofs all fail; comparison is constant
+// time (hmac.Equal).
+func VerifyProof(key []byte, probeID, nonce uint64, route routing.Route, proof []byte) bool {
+	if len(proof) != ProofSize {
+		return false
+	}
+	return hmac.Equal(proof, ComputeProof(key, probeID, nonce, route))
+}

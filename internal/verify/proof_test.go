@@ -1,0 +1,55 @@
+package verify
+
+import (
+	"bytes"
+	"testing"
+
+	"samnet/internal/routing"
+)
+
+func TestProofRoundTrip(t *testing.T) {
+	key := []byte("k")
+	route := routing.Route{0, 5, 11}
+	p := ComputeProof(key, 1, 2, route)
+	if len(p) != ProofSize {
+		t.Fatalf("proof length = %d, want %d", len(p), ProofSize)
+	}
+	if !VerifyProof(key, 1, 2, route, p) {
+		t.Fatal("valid proof rejected")
+	}
+}
+
+// TestProofBinding pins that the MAC covers every input: changing the key,
+// probe id, nonce or any route node invalidates it.
+func TestProofBinding(t *testing.T) {
+	key := []byte("k")
+	route := routing.Route{0, 5, 11}
+	p := ComputeProof(key, 1, 2, route)
+
+	if VerifyProof([]byte("k2"), 1, 2, route, p) {
+		t.Error("proof verified under wrong key")
+	}
+	if VerifyProof(key, 9, 2, route, p) {
+		t.Error("proof verified for wrong probe id")
+	}
+	if VerifyProof(key, 1, 9, route, p) {
+		t.Error("proof verified for wrong nonce")
+	}
+	if VerifyProof(key, 1, 2, routing.Route{0, 6, 11}, p) {
+		t.Error("proof verified for wrong route")
+	}
+	if VerifyProof(key, 1, 2, route[:2], p) {
+		t.Error("proof verified for truncated route")
+	}
+}
+
+func TestProofRejectsBadLengths(t *testing.T) {
+	key := []byte("k")
+	route := routing.Route{0, 1}
+	p := ComputeProof(key, 1, 2, route)
+	for _, bad := range [][]byte{nil, {}, p[:1], p[:ProofSize-1], append(bytes.Clone(p), 0)} {
+		if VerifyProof(key, 1, 2, route, bad) {
+			t.Errorf("proof of length %d verified", len(bad))
+		}
+	}
+}
