@@ -9,12 +9,20 @@
 // Usage:
 //
 //	samload [-addr http://host:port] [-clients N] [-duration 5s]
-//	        [-requests N] [-batch K] [-topo cluster|uniform6x6|uniform10x6]
+//	        [-requests N] [-batch K] [-stream]
+//	        [-topo cluster|uniform6x6|uniform10x6]
 //	        [-tier K] [-train N] [-corpus N] [-profile name] [-seed S]
 //	        [-log-format text|json]
 //
 // With no -addr, samload starts an in-process samserve on a loopback port
 // and benchmarks that, so `samload` alone measures the full serving path.
+//
+// -stream switches each client from request/response over /v1/detect to the
+// NDJSON pipeline on /v1/detect/stream: one long-lived POST per client, with
+// a bounded window of requests in flight on the connection. Per-request HTTP
+// framing is what caps the lockstep modes at round-trip throughput, so
+// -stream is the mode that measures the service's actual scoring capacity.
+// It requires -batch 1 (the stream protocol is one route set per line).
 //
 // Latency percentiles come from the same fixed-bucket histogram the service
 // exposes (internal/obs), so client- and server-side latency reports share
@@ -63,6 +71,7 @@ func main() {
 		duration  = flag.Duration("duration", 5*time.Second, "load duration (ignored when -requests > 0)")
 		requests  = flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
 		batch     = flag.Int("batch", 1, "route sets per request (1 = /v1/detect, >1 = /v1/detect/batch)")
+		stream    = flag.Bool("stream", false, "pipeline requests over /v1/detect/stream (requires -batch 1)")
 		topoName  = flag.String("topo", "cluster", "topology: cluster, uniform6x6, uniform10x6, random")
 		tier      = flag.Int("tier", 1, "transmission range in grid spacings")
 		train     = flag.Int("train", 30, "normal discoveries used to train the profile")
@@ -79,6 +88,9 @@ func main() {
 	var err error
 	if logger, err = cli.NewLogger(*logFormat); err != nil {
 		fatal(err)
+	}
+	if *stream && *batch != 1 {
+		fatal(fmt.Errorf("-stream requires -batch 1 (got -batch %d)", *batch))
 	}
 
 	base, shutdown := resolveServer(*addr)
@@ -98,10 +110,15 @@ func main() {
 	logger.Info("profile trained", "profile", *profile, "route_sets", len(trainSets))
 
 	items := buildCorpus(*profile, normalSets, attackSets, *batch)
-	res := run(client, base, items, *clients, *requests, *duration, *batch)
+	var res *result
+	if *stream {
+		res = runStream(client, base, items, *clients, *requests, *duration)
+	} else {
+		res = run(client, base, items, *clients, *requests, *duration, *batch)
+	}
 	res.report(os.Stdout)
 	scrapeServerMetrics(client, base)
-	res.summaryJSON(os.Stdout)
+	res.summaryJSON(os.Stdout, mode(*stream, *batch))
 	if res.errors > 0 && res.ok == 0 {
 		os.Exit(1)
 	}
@@ -329,6 +346,221 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 	return res
 }
 
+// mode names the driving strategy for the machine-readable summary.
+func mode(stream bool, batch int) string {
+	switch {
+	case stream:
+		return "stream"
+	case batch > 1:
+		return "batch"
+	}
+	return "detect"
+}
+
+// streamWindow bounds how many request lines each stream client keeps in
+// flight: the writer blocks pushing into the window once it is full, so a
+// slow server applies backpressure instead of letting the pipe buffer grow.
+const streamWindow = 128
+
+// inflight is the ground truth a stream writer records per request line for
+// the reader to match against the response line in order.
+type inflight struct {
+	begin  time.Time
+	attack bool
+}
+
+// runStream drives the corpus through /v1/detect/stream: one long-lived POST
+// per client, a writer goroutine pipelining request lines, and the client
+// goroutine reading response lines in request order. Latency is line-written
+// to line-answered, which includes queueing inside the window — the price of
+// measuring a pipeline rather than a round trip.
+func runStream(client *http.Client, base string, items []corpusItem, clients, requests int, duration time.Duration) *result {
+	endpoint := base + "/v1/detect/stream"
+	// Batch-1 detect bodies are single-line JSON, so NDJSON framing is just
+	// a newline suffix, appended once here rather than per write.
+	for i := range items {
+		items[i].payload = append(items[i].payload, '\n')
+	}
+
+	var next atomic.Int64
+	deadline := time.Now().Add(duration)
+	budget := int64(requests)
+
+	res := &result{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, errs, scored, tp, fp, atk, nrm := streamClient(client, endpoint, items, &next, budget, deadline, res.latency)
+			mu.Lock()
+			res.ok += ok
+			res.errors += errs
+			res.scored += scored
+			res.truePos += tp
+			res.falsePos += fp
+			res.attackSeen += atk
+			res.normSeen += nrm
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// streamClient runs one connection's writer/reader pair to completion.
+func streamClient(client *http.Client, endpoint string, items []corpusItem, next *atomic.Int64, budget int64, deadline time.Time, latency *obs.Histogram) (ok, errs, scored, tp, fp, atk, nrm int64) {
+	pr, pw := io.Pipe()
+	window := make(chan inflight, streamWindow)
+
+	// Writer: claims corpus slots from the shared counter, records the
+	// ground truth in the window, then ships the line. Lines are buffered
+	// and flushed before the window can block, so the server always holds
+	// every line the reader is waiting on.
+	go func() {
+		bw := bufio.NewWriterSize(pw, 16*1024)
+		var werr error
+		for werr == nil {
+			idx := next.Add(1) - 1
+			if budget > 0 {
+				if idx >= budget {
+					break
+				}
+			} else if time.Now().After(deadline) {
+				break
+			}
+			item := items[idx%int64(len(items))]
+			if len(window) == cap(window) {
+				if werr = bw.Flush(); werr != nil {
+					break
+				}
+			}
+			window <- inflight{begin: time.Now(), attack: item.attacks[0]}
+			_, werr = bw.Write(item.payload)
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		// A write error means the server tore the stream down; the reader
+		// sees the cause on its side. Either way the request body ends now.
+		pw.CloseWithError(werr)
+		close(window)
+	}()
+
+	req, err := http.NewRequest("POST", endpoint, pr)
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		pr.CloseWithError(err) // unblocks the writer
+		for range window {
+			errs++
+		}
+		return ok, errs + 1, scored, tp, fp, atk, nrm
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		pr.CloseWithError(fmt.Errorf("stream status %s", resp.Status))
+		for range window {
+			errs++
+		}
+		return ok, errs + 1, scored, tp, fp, atk, nrm
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		sent, open := <-window
+		if !open {
+			// More response lines than requests: a stream-level error line
+			// appended after the last answer, or a protocol bug. Count it
+			// and stop matching.
+			errs++
+			break
+		}
+		decision, lineErr := streamDecision(line)
+		if lineErr != nil {
+			errs++
+			continue
+		}
+		ok++
+		latency.ObserveDuration(time.Since(sent.begin))
+		scored++
+		positive := decision != "normal"
+		if sent.attack {
+			atk++
+			if positive {
+				tp++
+			}
+		} else {
+			nrm++
+			if positive {
+				fp++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs++
+	}
+	// The response is over; make sure the writer can't stay blocked on the
+	// pipe, then count requests the server never answered.
+	pr.CloseWithError(fmt.Errorf("response stream ended"))
+	for range window {
+		errs++
+	}
+	return ok, errs, scored, tp, fp, atk, nrm
+}
+
+// decisionMark is the response-line prefix of the decision value. Scanning
+// for it beats a full json.Unmarshal per line, and at stream rates the
+// client's parsing shares a CPU budget with the server under test.
+var decisionMark = []byte(`"verdict":{"decision":"`)
+
+// streamDecision extracts the verdict decision from one response line, or
+// the error the line carries. The fast path byte-scans for the decision
+// field; anything it cannot place exactly falls back to real JSON decoding.
+func streamDecision(line []byte) (string, error) {
+	if i := bytes.Index(line, decisionMark); i >= 0 {
+		rest := line[i+len(decisionMark):]
+		if j := bytes.IndexByte(rest, '"'); j > 0 {
+			switch string(rest[:j]) { // compiler avoids the conversion alloc
+			case "normal":
+				return "normal", nil
+			case "suspicious":
+				return "suspicious", nil
+			case "attacked":
+				return "attacked", nil
+			}
+		}
+	}
+	var lr struct {
+		Verdict struct {
+			Decision string `json:"decision"`
+		} `json:"verdict"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(line, &lr); err != nil {
+		return "", err
+	}
+	if lr.Error != "" {
+		return "", fmt.Errorf("server: %s", lr.Error)
+	}
+	if lr.Verdict.Decision == "" {
+		return "", fmt.Errorf("response line carries no decision: %.120s", line)
+	}
+	return lr.Verdict.Decision, nil
+}
+
 // post issues one request and extracts the verdict decisions.
 func post(client *http.Client, endpoint string, payload []byte, batch int) ([]string, int, error) {
 	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(payload))
@@ -398,6 +630,7 @@ func (r *result) report(w io.Writer) {
 // summary is the machine-readable run record emitted as the last stdout
 // line, so CI can `tail -n 1` and parse one JSON object.
 type summary struct {
+	Mode          string  `json:"mode"`
 	OK            int64   `json:"ok"`
 	Rejected      int64   `json:"rejected"`
 	Errors        int64   `json:"errors"`
@@ -412,8 +645,9 @@ type summary struct {
 	FalsePosRate  float64 `json:"false_positive_rate"`
 }
 
-func (r *result) summaryJSON(w io.Writer) {
+func (r *result) summaryJSON(w io.Writer, mode string) {
 	s := summary{
+		Mode:     mode,
 		OK:       r.ok,
 		Rejected: r.rejected,
 		Errors:   r.errors,

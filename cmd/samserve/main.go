@@ -1,7 +1,8 @@
 // Command samserve runs the SAM wormhole-detection service: a long-running
 // HTTP/JSON API that stores trained normal-condition profiles, scores route
-// sets against them (singly or in batches over a bounded worker pool with
-// 429 backpressure), replays the paper's step-2 challenge–response probe
+// sets against them (singly, in batches over a bounded worker pool with 429
+// backpressure, or pipelined over the NDJSON stream on POST
+// /v1/detect/stream), replays the paper's step-2 challenge–response probe
 // verification against deterministic scenarios (POST /v1/verify), maintains
 // the step-3 isolation list (GET /v1/isolation, DELETE
 // /v1/isolation/{a}/{b}), and exposes Prometheus-style metrics plus
@@ -102,6 +103,7 @@ func main() {
 		DecisionBuffer: *decisions,
 		ProfileTTL:     *profileTTL,
 		MaxProfiles:    *maxProfiles,
+		Logger:         logger,
 	}
 	svc := service.New(cfg)
 

@@ -113,9 +113,17 @@ type BatchDetectRequest struct {
 }
 
 // BatchDetectResponse answers /v1/detect/batch, verdicts in item order.
+// When every item scores, the status is 200 and Errors is absent. When some
+// items fail, the status is 207 (Multi-Status) and Errors carries one entry
+// per item — "" for items that scored (their verdict is live) and the error
+// text for items that did not (their verdict slot is zero-valued filler).
+// Completed verdicts are always returned: batch items that already updated
+// the adaptive profile are never silently discarded because a sibling item
+// failed.
 type BatchDetectResponse struct {
 	Profile  string        `json:"profile"`
 	Verdicts []VerdictJSON `json:"verdicts"`
+	Errors   []string      `json:"errors,omitempty"`
 }
 
 // TrainRequest is the body of POST /v1/profiles/{name}/train: one or more

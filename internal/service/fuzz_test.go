@@ -1,11 +1,14 @@
 package service
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
 	"testing"
+	"time"
 )
 
 // fuzzService is shared by the fuzz targets: one instance with a trained
@@ -29,7 +32,8 @@ func fuzzService(f *testing.F) http.Handler {
 // well-defined client or server refusal, never a panic or a hung handler.
 func allowedStatus(code int) bool {
 	switch code {
-	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+	case http.StatusOK, http.StatusMultiStatus, http.StatusBadRequest,
+		http.StatusNotFound,
 		http.StatusConflict, http.StatusRequestEntityTooLarge,
 		http.StatusUnprocessableEntity,
 		http.StatusTooManyRequests, http.StatusMethodNotAllowed,
@@ -64,6 +68,46 @@ func FuzzDetectDecoding(f *testing.F) {
 			mux.ServeHTTP(rec, req)
 			if !allowedStatus(rec.Code) {
 				t.Fatalf("%s: status %d on body %q", path, rec.Code, body)
+			}
+		}
+	})
+}
+
+// FuzzDetectStreamFraming throws arbitrary bytes at the NDJSON stream
+// endpoint: whatever the line framing and per-line parser make of the input,
+// the answer must be a 200 whose body is well-formed NDJSON — every line a
+// complete JSON object — with no panic and no hang.
+func FuzzDetectStreamFraming(f *testing.F) {
+	mux := fuzzService(f)
+	f.Add("{\"profile\":\"p\",\"routes\":[[0,1,2]]}\n")
+	f.Add("{\"profile\":\"p\",\"routes\":[[0,1,2]]}\n{\"profile\":\"missing\",\"routes\":[[1]]}\n")
+	f.Add("\n\n\r\n")
+	f.Add("{\"profile\":\"p\",\"routes\":[[0,1\n{\"profile\":\"p\",\"routes\":[[2]]}\n")
+	f.Add("null\ntrue\n[]\n")
+	f.Add("{\"profile\":\"p\",\"routes\":[[0,1,2]],\"explain\":true}\n")
+	f.Add("{\"profile\":\"p\",\"routes\":[[9999999999999999999]]}")
+	f.Add("{} {}\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		// The no-hang half of the contract, enforced: a handler that stops
+		// making progress on some framing shape would otherwise stall the
+		// fuzz worker silently instead of recording the input.
+		wd := time.AfterFunc(3*time.Second, func() {
+			panic(fmt.Sprintf("stream exec exceeded 3s on %d-byte body %.200q", len(body), body))
+		})
+		defer wd.Stop()
+		req := httptest.NewRequest("POST", "/v1/detect/stream", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stream: status %d on body %q", rec.Code, body)
+		}
+		for i, line := range strings.Split(rec.Body.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			if !json.Valid([]byte(line)) {
+				t.Fatalf("stream: response line %d is not valid JSON: %q (body %q)", i, line, body)
 			}
 		}
 	})

@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"sync"
 	"time"
 
 	"samnet/internal/obs"
@@ -39,6 +40,11 @@ type metrics struct {
 	evictLRU     *obs.Counter
 	snapshots    *obs.Counter
 	snapshotErrs *obs.Counter
+
+	// respErrors counts response bodies that failed after the status line was
+	// committed — the one failure a JSON API cannot report in-band (a 200 with
+	// truncated JSON used to be silent; now it is at least observable).
+	respErrors *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -85,6 +91,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		"Snapshot files written successfully (timer or shutdown).")
 	m.snapshotErrs = reg.Counter("samserve_snapshot_errors_total",
 		"Snapshot write attempts that failed.")
+	m.respErrors = reg.Counter("samserve_response_errors_total",
+		"Response bodies that failed to encode or write after the status was sent.")
 	return m
 }
 
@@ -177,17 +185,26 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // the embedding hides.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
+// statusWriterPool recycles the per-request status capture wrapper; at the
+// serving throughput target even this one small struct per request is
+// measurable garbage.
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // instrument wraps a handler with request counting and latency observation
 // under the given endpoint name.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := m.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, 0
 		begin := time.Now()
 		h(sw, r)
-		if sw.status == 0 {
-			sw.status = http.StatusOK
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
 		}
-		em.record(sw.status, time.Since(begin))
+		sw.ResponseWriter = nil
+		statusWriterPool.Put(sw)
+		em.record(status, time.Since(begin))
 	}
 }

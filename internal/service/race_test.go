@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in. Strict
+// allocation-count assertions skip under it: sync.Pool deliberately drops a
+// quarter of Puts when racing, so pooled paths allocate nondeterministically.
+const raceEnabled = true

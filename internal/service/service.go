@@ -10,6 +10,7 @@
 //	POST   /v1/analyze               SAM statistics of a route set (stateless)
 //	POST   /v1/detect                score one route set against a profile
 //	POST   /v1/detect/batch          score many route sets on the worker pool
+//	POST   /v1/detect/stream         NDJSON pipeline: detect requests in, verdicts out
 //	POST   /v1/profiles/{name}/train feed normal route sets into the trainer
 //	POST   /v1/train/batch           deterministic server-side training sweep
 //	POST   /v1/verify                probe a suspect pair (step 2), optionally isolate (step 3)
@@ -32,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -79,6 +81,9 @@ type Config struct {
 	// pushes the count above the cap, the least-recently-accessed profiles
 	// are evicted until it fits. 0 means unlimited.
 	MaxProfiles int
+	// Logger receives service warnings (response bodies that failed after
+	// the status line was committed). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.DecisionBuffer == 0 {
 		c.DecisionBuffer = 256
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -117,6 +125,7 @@ type Service struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+	logger  *slog.Logger
 	// detCfg is the effective detector configuration (defaults resolved),
 	// echoed into decision records as the thresholds verdicts were judged by.
 	detCfg sam.DetectorConfig
@@ -143,6 +152,7 @@ func New(cfg Config) *Service {
 		store:   newStore(cfg.Shards, cfg.Detector, cfg.PMFBins),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(cfg.Registry),
+		logger:  cfg.Logger,
 		detCfg:  cfg.Detector.WithDefaults(),
 		iso:     verify.NewIsolationSet(),
 	}
@@ -166,9 +176,10 @@ func New(cfg Config) *Service {
 		"Condemned pairs currently on the isolation list.",
 		func() float64 { return float64(s.iso.Len()) })
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.wrap("analyze", s.handleAnalyze))
-	mux.HandleFunc("POST /v1/detect", s.wrap("detect", s.handleDetect))
-	mux.HandleFunc("POST /v1/detect/batch", s.wrap("detect_batch", s.handleDetectBatch))
+	mux.HandleFunc("POST /v1/analyze", s.hot("analyze", s.handleAnalyze))
+	mux.HandleFunc("POST /v1/detect", s.hot("detect", s.handleDetect))
+	mux.HandleFunc("POST /v1/detect/batch", s.hot("detect_batch", s.handleDetectBatch))
+	mux.HandleFunc("POST /v1/detect/stream", s.hot("detect_stream", s.handleDetectStream))
 	mux.HandleFunc("POST /v1/profiles/{name}/train", s.wrap("train", s.handleTrain))
 	mux.HandleFunc("POST /v1/train/batch", s.wrap("train_batch", s.handleTrainBatch))
 	mux.HandleFunc("POST /v1/verify", s.wrap("verify", s.handleVerify))
@@ -334,15 +345,38 @@ func (s *Service) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+// hot registers a hot-path handler: instrumentation only. These handlers
+// read their body through pooled scratch (wireScratch.readBody enforces
+// MaxBodyBytes itself), skipping MaxBytesReader's per-request allocation.
+func (s *Service) hot(name string, h http.HandlerFunc) http.HandlerFunc {
+	return s.metrics.instrument(name, h)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// writeJSON ships v through encoding/json — the writer for everything off
+// the detect hot path (and for explain responses, whose decision records are
+// too rich to hand-encode). Encode errors after the status line are counted
+// and logged instead of silently shipping a 200 with truncated JSON.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header()["Content-Type"] = ctJSON
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.responseFailed("encode", err)
+	}
+}
+
+func (s *Service) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errorf is writeError for handlers holding a scratch: the body is built in
+// the pooled buffer with the append encoder.
+func (s *Service) errorf(w http.ResponseWriter, sc *wireScratch, status int, format string, args ...any) {
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	sc.out = appendErrorResponse(sc.out[:0], msg)
+	s.writeBuf(w, status, sc.out)
 }
 
 // decodeStatus maps a decoding error to its HTTP status.
@@ -354,18 +388,19 @@ func decodeStatus(err error) int {
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req AnalyzeRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := sc.readBody(r, s.cfg.MaxBodyBytes); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	routes, err := decodeRoutes(req.Routes)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if err := sc.parseRequest(kindAnalyze); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	st := sam.Analyze(routes)
-	topK := req.TopK
+	sc.materializeRoutes()
+	st := sam.Analyze(sc.routes)
+	topK := sc.topK
 	if topK == 0 {
 		topK = 5
 	}
@@ -383,7 +418,8 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			resp.Top = append(resp.Top, LinkCountJSON{Link: linkJSON(lc.Link), Count: lc.Count, P: lc.P})
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out = appendAnalyzeResponse(sc.out[:0], resp)
+	s.writeBuf(w, http.StatusOK, sc.out)
 }
 
 // scoreOrError maps store/entry errors onto HTTP statuses shared by the
@@ -400,129 +436,175 @@ func scoreStatus(err error) int {
 }
 
 func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
-	var req DetectRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := sc.readBody(r, s.cfg.MaxBodyBytes); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	if req.Profile == "" {
-		writeError(w, http.StatusBadRequest, "missing profile name")
+	if err := sc.parseRequest(kindDetect); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	routes, err := decodeRoutes(req.Routes)
+	status, rec, v := s.detectScratch(sc)
+	if rec != nil {
+		s.writeJSON(w, http.StatusOK, DetectResponse{
+			Profile: string(sc.profile), Verdict: verdictJSON(v), Explain: rec,
+		})
+		return
+	}
+	s.writeBuf(w, status, sc.out)
+}
+
+// detectScratch runs one parsed detect request to completion: profile
+// lookup, scoring, observation, and response encoding into sc.out. It is
+// shared by /v1/detect and each /v1/detect/stream line. The returned status
+// goes with the sc.out body — except when rec is non-nil (explain requested),
+// where the caller must build the cold-path DetectResponse with the record
+// through encoding/json instead.
+func (s *Service) detectScratch(sc *wireScratch) (status int, rec *obs.Decision, v sam.Verdict) {
+	if len(sc.profile) == 0 {
+		sc.out = appendErrorResponse(sc.out[:0], "missing profile name")
+		return http.StatusBadRequest, nil, v
+	}
+	sc.materializeRoutes()
+	e, err := s.store.getBytes(sc.profile)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		sc.out = appendErrorResponse(sc.out[:0], err.Error())
+		return scoreStatus(err), nil, v
 	}
-	e, err := s.store.get(req.Profile)
+	// e.name is the store's interned copy of the profile name: verdicts are
+	// observed under it so no per-request string materializes.
+	v, err = e.score(sam.Analyze(sc.routes), sc.requestUpdate())
 	if err != nil {
-		writeError(w, scoreStatus(err), "%v", err)
-		return
+		sc.out = appendErrorResponse(sc.out[:0], fmt.Sprintf("profile %q: %v", e.name, err))
+		return scoreStatus(err), nil, v
 	}
-	update := req.Update == nil || *req.Update
-	v, err := e.score(sam.Analyze(routes), update)
-	if err != nil {
-		writeError(w, scoreStatus(err), "profile %q: %v", req.Profile, err)
-		return
+	if rec = s.observe(e.name, v, sc.explain); rec != nil {
+		return http.StatusOK, rec, v
 	}
-	s.metrics.observeVerdict(v)
-	resp := DetectResponse{Profile: req.Profile, Verdict: verdictJSON(v)}
-	if req.Explain || s.decisions.Enabled() {
-		rec := sam.NewDecisionRecord(req.Profile, v, s.detCfg)
-		s.decisions.Record(rec)
-		if req.Explain {
-			resp.Explain = &rec
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out = appendDetectResponse(sc.out[:0], sc.profile, verdictJSON(v))
+	return http.StatusOK, nil, v
 }
 
 // observe feeds one scored verdict into the instruments and, when capture is
-// on, the decision ring. The disabled-capture path is one atomic load and
-// allocation-free (pinned by TestDetectTelemetryOffZeroAlloc).
-func (s *Service) observe(profile string, v sam.Verdict) {
+// on, the decision ring; with explain set it also returns the record for the
+// response body. Every detect path (single, batch, stream) goes through
+// here, so capture/explain semantics cannot drift between them. The
+// disabled-capture path is one atomic load and allocation-free (pinned by
+// TestDetectTelemetryOffZeroAlloc).
+func (s *Service) observe(profile string, v sam.Verdict, explain bool) *obs.Decision {
 	s.metrics.observeVerdict(v)
-	if s.decisions.Enabled() {
-		s.decisions.Record(sam.NewDecisionRecord(profile, v, s.detCfg))
+	if !explain && !s.decisions.Enabled() {
+		return nil
 	}
+	rec := sam.NewDecisionRecord(profile, v, s.detCfg)
+	s.decisions.Record(rec)
+	if explain {
+		return &rec
+	}
+	return nil
 }
 
 func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchDetectRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := sc.readBody(r, s.cfg.MaxBodyBytes); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	if req.Profile == "" {
-		writeError(w, http.StatusBadRequest, "missing profile name")
+	if err := sc.parseRequest(kindBatch); err != nil {
+		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
-	if len(req.Items) > s.cfg.MaxBatchItems {
-		writeError(w, http.StatusBadRequest, "batch has %d items, limit %d", len(req.Items), s.cfg.MaxBatchItems)
+	if len(sc.profile) == 0 {
+		s.errorf(w, sc, http.StatusBadRequest, "missing profile name")
 		return
 	}
-	sets, err := decodeRouteSets(req.Items)
+	if len(sc.setEnds) > s.cfg.MaxBatchItems {
+		s.errorf(w, sc, http.StatusBadRequest, "batch has %d items, limit %d", len(sc.setEnds), s.cfg.MaxBatchItems)
+		return
+	}
+	sc.materializeRoutes()
+	e, err := s.store.getBytes(sc.profile)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.errorf(w, sc, scoreStatus(err), "%v", err)
 		return
 	}
-	e, err := s.store.get(req.Profile)
-	if err != nil {
-		writeError(w, scoreStatus(err), "%v", err)
-		return
-	}
-	update := req.Update == nil || *req.Update
+	update := sc.requestUpdate()
 
-	verdicts := make([]VerdictJSON, len(sets))
-	errs := make([]error, len(sets))
-	tasks := make([]func(), len(sets))
-	for i := range sets {
-		i, set := i, sets[i]
-		tasks[i] = func() {
+	n := len(sc.sets)
+	sc.verdicts = growSlice(sc.verdicts, n)
+	sc.itemErrs = growSlice(sc.itemErrs, n)
+	sc.tasks = sc.tasks[:0]
+	for i := range sc.sets {
+		i, set := i, sc.sets[i]
+		sc.tasks = append(sc.tasks, func() {
 			// Analysis is pure and runs fully parallel; only the stateful
 			// evaluate+update pair serializes on the profile's mutex.
+			// Observation waits for the barrier: metrics and decision records
+			// must reflect only verdicts the response actually carries.
 			v, err := e.score(sam.Analyze(set), update)
 			if err != nil {
-				errs[i] = err
+				sc.itemErrs[i] = err
 				return
 			}
-			s.observe(req.Profile, v)
-			verdicts[i] = verdictJSON(v)
-		}
+			sc.verdicts[i] = v
+		})
 	}
-	if !s.pool.tryRun(tasks) {
+	if !s.pool.tryRun(sc.tasks) {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			"worker pool saturated (%d items would exceed queue depth %d)", len(sets), s.cfg.QueueDepth)
+		s.errorf(w, sc, http.StatusTooManyRequests,
+			"worker pool saturated (%d items would exceed queue depth %d)", n, s.cfg.QueueDepth)
 		return
 	}
-	for _, err := range errs {
+	status := s.finishBatch(sc, e.name)
+	s.writeBuf(w, status, sc.out)
+}
+
+// finishBatch turns a scored batch into the wire response after the pool
+// barrier. Items that scored are observed (metrics + decision ring) and
+// carry their verdict; items that failed carry a parallel error entry and a
+// zero verdict slot — completed work is returned, never discarded because a
+// sibling item failed (those verdicts already updated the adaptive profile,
+// so hiding them would leave the client blind to a half-applied batch).
+// Returns 200 when every item scored, 207 (Multi-Status) otherwise.
+func (s *Service) finishBatch(sc *wireScratch, profile string) int {
+	n := len(sc.verdicts)
+	sc.wire = growSlice(sc.wire, n)
+	sc.errStrs = growSlice(sc.errStrs, n)
+	status := http.StatusOK
+	for i, err := range sc.itemErrs {
 		if err != nil {
-			writeError(w, scoreStatus(err), "profile %q: %v", req.Profile, err)
-			return
+			status = http.StatusMultiStatus
+			sc.errStrs[i] = fmt.Sprintf("profile %q: %v", profile, err)
+			continue
 		}
+		s.observe(profile, sc.verdicts[i], false)
+		sc.wire[i] = verdictJSON(sc.verdicts[i])
 	}
-	writeJSON(w, http.StatusOK, BatchDetectResponse{Profile: req.Profile, Verdicts: verdicts})
+	sc.out = appendBatchDetectResponse(sc.out[:0], sc.profile, sc.wire, sc.errStrs)
+	return status
 }
 
 func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing profile name")
+		s.writeError(w, http.StatusBadRequest, "missing profile name")
 		return
 	}
 	var req TrainRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+		s.writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
 	if len(req.RouteSets) == 0 {
-		writeError(w, http.StatusBadRequest, "route_sets must not be empty")
+		s.writeError(w, http.StatusBadRequest, "route_sets must not be empty")
 		return
 	}
 	sets, err := decodeRouteSets(req.RouteSets)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	e := s.store.getOrCreate(name)
@@ -534,12 +616,12 @@ func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 			// them: the training data is unprocessable, not a server fault.
 			status = http.StatusUnprocessableEntity
 		}
-		writeError(w, status, "profile %q: %v", name, err)
+		s.writeError(w, status, "profile %q: %v", name, err)
 		return
 	}
 	s.metrics.trainings.Inc()
 	s.enforceCap()
-	writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})
+	s.writeJSON(w, http.StatusOK, TrainResponse{Profile: name, Runs: runs, Trained: runs > 0})
 }
 
 func (s *Service) handleListProfiles(w http.ResponseWriter, r *http.Request) {
@@ -553,22 +635,22 @@ func (s *Service) handleListProfiles(w http.ResponseWriter, r *http.Request) {
 		_, _, _, runs, snapErr := e.snapshot()
 		infos = append(infos, ProfileInfo{Name: name, Runs: runs, Trained: snapErr == nil})
 	}
-	writeJSON(w, http.StatusOK, infos)
+	s.writeJSON(w, http.StatusOK, infos)
 }
 
 func (s *Service) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, err := s.store.get(name)
 	if err != nil {
-		writeError(w, scoreStatus(err), "%v", err)
+		s.writeError(w, scoreStatus(err), "%v", err)
 		return
 	}
 	p, pmaxMean, phiMean, runs, err := e.snapshot()
 	if err != nil {
-		writeError(w, scoreStatus(err), "profile %q: %v", name, err)
+		s.writeError(w, scoreStatus(err), "profile %q: %v", name, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ProfileResponse{
+	s.writeJSON(w, http.StatusOK, ProfileResponse{
 		Name: name, Runs: runs, PMaxMean: pmaxMean, PhiMean: phiMean, Profile: p,
 	})
 }
@@ -576,15 +658,15 @@ func (s *Service) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleDeleteProfile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.store.remove(name) {
-		writeError(w, http.StatusNotFound, "%v: %q", errUnknownProfile, name)
+		s.writeError(w, http.StatusNotFound, "%v: %q", errUnknownProfile, name)
 		return
 	}
 	s.metrics.evictDelete.Inc()
-	writeJSON(w, http.StatusOK, DeleteProfileResponse{Profile: name, Deleted: true})
+	s.writeJSON(w, http.StatusOK, DeleteProfileResponse{Profile: name, Deleted: true})
 }
 
 func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, DecisionsResponse{
+	s.writeJSON(w, http.StatusOK, DecisionsResponse{
 		Enabled:   s.decisions.Enabled(),
 		Capacity:  s.decisions.Cap(),
 		Recorded:  s.decisions.Recorded(),
@@ -593,5 +675,5 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -200,6 +200,32 @@ func (s *store) get(name string) (*entry, error) {
 	return e, nil
 }
 
+// getBytes is get for a profile name still sitting in a pooled request
+// buffer. The map lookup with an inline string conversion compiles without
+// allocating, and the interned e.name gives callers a stable string without
+// copying the bytes — the serving hot path's way to avoid one string
+// allocation per request.
+func (s *store) getBytes(name []byte) (*entry, error) {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	sh := &s.shards[h%uint32(len(s.shards))]
+	sh.mu.RLock()
+	e := sh.entries[string(name)]
+	sh.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", errUnknownProfile, name)
+	}
+	e.touch()
+	return e, nil
+}
+
 // getOrCreate returns the named entry, creating an empty trainer on first
 // use, and stamps its last-access time.
 func (s *store) getOrCreate(name string) *entry {

@@ -1,0 +1,270 @@
+package service
+
+// POST /v1/detect/stream: the NDJSON pipeline mode. The client writes
+// newline-delimited DetectRequest objects and reads one response line per
+// request, in request order — DetectResponse for scored lines, ErrorResponse
+// for lines that fail. Per-request HTTP framing is what caps a detect client
+// at round-trip throughput; a stream lets a loader (cmd/samload -stream)
+// keep hundreds of requests in flight on one connection.
+//
+// Contract:
+//
+//   - One JSON object per line; blank lines are skipped. Each line is
+//     limited to MaxBodyBytes; an over-limit line is discarded up to its
+//     terminating newline (bounded memory, not bounded read) and answered
+//     with an ErrorResponse line like any other per-line failure.
+//   - Per-line failures (malformed JSON, oversized line, unknown profile,
+//     untrained, bad route ids) answer an ErrorResponse line and the
+//     stream continues — the newline framing is still intact, so later
+//     lines are unaffected.
+//   - A body read error answers a final ErrorResponse line and the stream
+//     ends: the connection itself is broken, there is nothing left to
+//     resynchronize on.
+//   - Responses are flushed whenever no further complete line is already
+//     buffered, so a lockstep client sees every answer immediately while a
+//     pipelining client gets large write batches.
+//
+// The response status is always 200 with Content-Type application/x-ndjson;
+// per-line status lives in the line itself (an "error" key marks failures,
+// mirroring writeJSON's error bodies).
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// streamFlushEvery bounds how many response lines may accumulate before a
+// flush even when the client keeps the input buffer full, so a pipelining
+// client's window cannot be starved by the adaptive flush policy alone.
+const streamFlushEvery = 64
+
+// streamIdleTimeout replaces the server's whole-request read/write deadlines
+// on the stream path: a stream may run for hours, but a client that goes
+// silent (or stops reading) for this long is disconnected.
+const streamIdleTimeout = 2 * time.Minute
+
+func (s *Service) handleDetectStream(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	// Full duplex: the handler writes response lines while the client is
+	// still streaming request lines (net/http otherwise drains the body
+	// before letting responses interleave).
+	_ = rc.EnableFullDuplex()
+	w.Header()["Content-Type"] = ctNDJSON
+	w.WriteHeader(http.StatusOK)
+	// Ship the header immediately so the client's Do() returns and it can
+	// start its reader before the first verdict.
+	if err := rc.Flush(); err != nil {
+		s.responseFailed("stream flush", err)
+		return
+	}
+
+	sc := getScratch()
+	defer putScratch(sc)
+	lr := lineReader{r: r.Body, buf: sc.lbuf[:0], limit: s.cfg.MaxBodyBytes}
+	defer func() { sc.lbuf = lr.buf }()
+
+	// Slide the per-request deadlines forward at every flush: the server's
+	// blanket ReadTimeout/WriteTimeout would otherwise cut a healthy
+	// long-running stream mid-flight. Flushes happen at least once per
+	// streamFlushEvery lines and on every lockstep exchange, so only a
+	// genuinely idle peer can run into the deadline. Errors (a
+	// ResponseWriter without deadline support, e.g. in tests) just leave
+	// the defaults in place.
+	extend := func() {
+		idle := time.Now().Add(streamIdleTimeout)
+		_ = rc.SetReadDeadline(idle)
+		_ = rc.SetWriteDeadline(idle)
+	}
+	extend()
+
+	pending := 0 // response lines written since the last flush
+	for {
+		line, err := lr.next()
+		var body []byte
+		switch {
+		case err == nil:
+			// Scored below.
+		case errors.Is(err, errBodyTooLarge):
+			// The over-limit line was discarded up to its newline, so the
+			// reader is still line-aligned: answer and continue. Crucially
+			// this never leaves the handler with a half-read body — doing
+			// so after a full-duplex response trips a net/http race where
+			// the post-handler body discard hits EOF and fires the
+			// deferred background-read hook after finishRequest already
+			// aborted pending reads, panicking ("invalid concurrent
+			// Body.Read call") on a reused connection.
+			body = appendErrorResponse(sc.out[:0], err.Error())
+			sc.out = body
+		default:
+			if !errors.Is(err, io.EOF) {
+				// The connection itself failed mid-read: answer once and
+				// end the stream (nothing further can arrive on it).
+				sc.out = appendErrorResponse(sc.out[:0], err.Error())
+				if _, werr := w.Write(sc.out); werr != nil {
+					s.responseFailed("stream write", werr)
+				}
+			}
+			if ferr := rc.Flush(); ferr != nil {
+				s.responseFailed("stream flush", ferr)
+			}
+			return
+		}
+		if body == nil {
+			sc.reset()
+			sc.body = append(sc.body[:0], line...)
+			if perr := sc.parseRequest(kindDetect); perr != nil {
+				// A line that parsed as a complete (but invalid) JSON value
+				// is a semantic failure: report and continue. parseRequest
+				// only sees full lines, so framing stays intact.
+				body = appendErrorResponse(sc.out[:0], perr.Error())
+				sc.out = body
+			}
+		}
+		if body == nil {
+			_, rec, v := s.detectScratch(sc)
+			if rec != nil {
+				// Explain lines are cold-path: encoding/json builds the line
+				// (Encode appends the newline NDJSON needs).
+				var buf bytes.Buffer
+				if err := writeJSONLine(&buf, DetectResponse{
+					Profile: string(sc.profile), Verdict: verdictJSON(v), Explain: rec,
+				}); err != nil {
+					s.responseFailed("stream encode", err)
+					return
+				}
+				body = buf.Bytes()
+			} else {
+				body = sc.out
+			}
+		}
+		if _, err := w.Write(body); err != nil {
+			s.responseFailed("stream write", err)
+			return
+		}
+		pending++
+		// Adaptive flush: only when no complete line is already buffered
+		// (a lockstep client is waiting) or the batch is large enough.
+		if pending >= streamFlushEvery || !lr.buffered() {
+			if err := rc.Flush(); err != nil {
+				s.responseFailed("stream flush", err)
+				return
+			}
+			pending = 0
+			extend()
+		}
+	}
+}
+
+// lineReader splits the request body into newline-delimited frames using one
+// reusable buffer. A line longer than limit is consumed to its terminating
+// newline without being buffered (the buffer would otherwise grow
+// unboundedly on a missing newline) and reported as errBodyTooLarge, leaving
+// the reader aligned on the next line.
+type lineReader struct {
+	r     io.Reader
+	buf   []byte // unconsumed bytes, start..len valid
+	start int
+	limit int64
+	err   error
+}
+
+// next returns the next non-empty line (CR trimmed, newline excluded). The
+// returned slice is valid until the following next call. errBodyTooLarge
+// marks a dropped over-limit line (the stream remains usable); io.EOF marks
+// a clean end of stream; any other error means the body reader failed.
+func (lr *lineReader) next() ([]byte, error) {
+	for {
+		// Look for a complete line in the buffered window.
+		for lr.start < len(lr.buf) {
+			if i := bytes.IndexByte(lr.buf[lr.start:], '\n'); i >= 0 {
+				line := lr.buf[lr.start : lr.start+i]
+				lr.start += i + 1
+				if line = trimLine(line); len(line) > 0 {
+					return line, nil
+				}
+				continue
+			}
+			break
+		}
+		if lr.err != nil {
+			// Reader exhausted: a trailing unterminated line still counts.
+			if line := trimLine(lr.buf[lr.start:]); len(line) > 0 && lr.err == io.EOF {
+				lr.start = len(lr.buf)
+				return line, nil
+			}
+			if lr.err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, lr.err
+		}
+		// Compact and refill.
+		if lr.start > 0 {
+			lr.buf = append(lr.buf[:0], lr.buf[lr.start:]...)
+			lr.start = 0
+		}
+		if int64(len(lr.buf)) > lr.limit {
+			// The buffer holds exactly one partial line here (a complete
+			// line would have been returned above), so its length is the
+			// line's length so far.
+			return nil, lr.discardLine()
+		}
+		if len(lr.buf) == cap(lr.buf) {
+			lr.buf = append(lr.buf, 0)[:len(lr.buf)]
+		}
+		n, err := lr.r.Read(lr.buf[len(lr.buf):cap(lr.buf)])
+		lr.buf = lr.buf[:len(lr.buf)+n]
+		if err != nil {
+			lr.err = err
+		}
+	}
+}
+
+// discardLine consumes the remainder of an over-limit line without buffering
+// it, then reports errBodyTooLarge with the reader realigned on the byte
+// after the line's newline. A read error inside the discard ends the stream
+// with that error; EOF still reports the truncated line as too large.
+func (lr *lineReader) discardLine() error {
+	lr.buf = lr.buf[:0]
+	lr.start = 0
+	scratch := lr.buf[:cap(lr.buf)]
+	for {
+		n, err := lr.r.Read(scratch)
+		if i := bytes.IndexByte(scratch[:n], '\n'); i >= 0 {
+			// Alignment restored: keep whatever follows the newline.
+			// scratch aliases lr.buf's array; copy moves the tail down.
+			lr.buf = lr.buf[:copy(scratch, scratch[i+1:n])]
+			if err != nil {
+				lr.err = err
+			}
+			return errBodyTooLarge
+		}
+		if err != nil {
+			lr.err = err
+			if err == io.EOF {
+				return errBodyTooLarge
+			}
+			return err
+		}
+	}
+}
+
+// buffered reports whether a complete line is already waiting, so the
+// handler can batch flushes while the client keeps the pipe full.
+func (lr *lineReader) buffered() bool {
+	return bytes.IndexByte(lr.buf[lr.start:], '\n') >= 0
+}
+
+func trimLine(line []byte) []byte {
+	for len(line) > 0 {
+		switch line[len(line)-1] {
+		case '\r', ' ', '\t':
+			line = line[:len(line)-1]
+		default:
+			return line
+		}
+	}
+	return line
+}

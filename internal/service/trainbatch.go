@@ -110,12 +110,12 @@ func trainCell(sc trainScenario, seed uint64, run int) ([]routing.Route, error) 
 func (s *Service) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
 	var req TrainBatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+		s.writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
 	scenarios, err := resolveScenarios(req.Scenarios)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	runs := req.Runs
@@ -123,11 +123,11 @@ func (s *Service) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
 		runs = 30
 	}
 	if runs < 0 || runs > maxTrainRunsPerScenario {
-		writeError(w, http.StatusBadRequest, "runs %d out of range [1,%d]", req.Runs, maxTrainRunsPerScenario)
+		s.writeError(w, http.StatusBadRequest, "runs %d out of range [1,%d]", req.Runs, maxTrainRunsPerScenario)
 		return
 	}
 	if cells := len(scenarios) * runs; cells > maxTrainCells {
-		writeError(w, http.StatusBadRequest, "grid has %d cells (%d scenarios x %d runs), limit %d",
+		s.writeError(w, http.StatusBadRequest, "grid has %d cells (%d scenarios x %d runs), limit %d",
 			cells, len(scenarios), runs, maxTrainCells)
 		return
 	}
@@ -144,7 +144,7 @@ func (s *Service) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
 	// concurrent one is shed (429) instead of stacking unbounded CPU work.
 	if !s.trainBusy.CompareAndSwap(false, true) {
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "a batch training sweep is already running")
+		s.writeError(w, http.StatusTooManyRequests, "a batch training sweep is already running")
 		return
 	}
 	defer s.trainBusy.Store(false)
@@ -218,7 +218,7 @@ func (s *Service) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
 		_ = rc.Flush()
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // flushWriter flushes the response after every progress line so streamed

@@ -71,22 +71,22 @@ func evidenceJSON(evidence []verify.Evidence) []EvidenceJSON {
 func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, decodeStatus(err), "%v", err)
+		s.writeError(w, decodeStatus(err), "%v", err)
 		return
 	}
 	scenarios, err := resolveScenarios([]TrainScenarioJSON{req.Scenario})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	sc := scenarios[0]
 	behavior, forge, err := parseBehavior(req.Behavior)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.Timeout > maxVerifyTimeout || req.Retries > maxVerifyRetries || req.MaxProbes > maxVerifyMaxProbes {
-		writeError(w, http.StatusBadRequest, "probe knobs out of range (timeout <= %g, retries <= %d, max_probes <= %d)",
+		s.writeError(w, http.StatusBadRequest, "probe knobs out of range (timeout <= %g, retries <= %d, max_probes <= %d)",
 			float64(maxVerifyTimeout), maxVerifyRetries, maxVerifyMaxProbes)
 		return
 	}
@@ -99,7 +99,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// all randomness derives from (seed, label).
 	net, err := cli.BuildTopology(sc.topo, sc.tier, runner.DeriveSeed(seed, sc.label+"/topo", 0))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	wormholes := 1
@@ -107,7 +107,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		wormholes = *req.Wormholes
 	}
 	if wormholes < 0 || wormholes > len(net.AttackerPairs) {
-		writeError(w, http.StatusBadRequest, "wormholes %d out of range [0,%d]", wormholes, len(net.AttackerPairs))
+		s.writeError(w, http.StatusBadRequest, "wormholes %d out of range [0,%d]", wormholes, len(net.AttackerPairs))
 		return
 	}
 	atk := attack.NewScenario(net, wormholes, behavior)
@@ -120,19 +120,19 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if len(req.Routes) > 0 {
 		routes, err = decodeRoutes(req.Routes)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			s.writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		for i, rt := range routes {
 			for _, id := range rt {
 				if int(id) >= net.Topo.N() {
-					writeError(w, http.StatusUnprocessableEntity,
+					s.writeError(w, http.StatusUnprocessableEntity,
 						"route %d: node %d outside the %d-node scenario topology", i, id, net.Topo.N())
 					return
 				}
 			}
 			if !rt.Valid(net.Topo) {
-				writeError(w, http.StatusUnprocessableEntity,
+				s.writeError(w, http.StatusUnprocessableEntity,
 					"route %d (%s) is not connected in the scenario topology", i, rt)
 				return
 			}
@@ -147,7 +147,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if req.Suspect != nil {
 		if req.Suspect.A < 0 || req.Suspect.B < 0 ||
 			req.Suspect.A >= net.Topo.N() || req.Suspect.B >= net.Topo.N() || req.Suspect.A == req.Suspect.B {
-			writeError(w, http.StatusUnprocessableEntity, "suspect %d-%d outside the %d-node scenario topology",
+			s.writeError(w, http.StatusUnprocessableEntity, "suspect %d-%d outside the %d-node scenario topology",
 				req.Suspect.A, req.Suspect.B, net.Topo.N())
 			return
 		}
@@ -155,7 +155,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st := sam.Analyze(routes)
 		if st.N == 0 {
-			writeError(w, http.StatusUnprocessableEntity, "no routes to localize a suspect from")
+			s.writeError(w, http.StatusUnprocessableEntity, "no routes to localize a suspect from")
 			return
 		}
 		pair = st.Suspect
@@ -201,7 +201,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.decisions.Record(rec)
 	}
 
-	writeJSON(w, http.StatusOK, VerifyResponse{
+	s.writeJSON(w, http.StatusOK, VerifyResponse{
 		Label:         sc.label,
 		Suspect:       linkJSON(pair),
 		Likelihood:    v.Likelihood,
@@ -234,20 +234,20 @@ func (s *Service) handleIsolation(w http.ResponseWriter, r *http.Request) {
 	for i, v := range verdicts {
 		pairs[i] = IsolatedPairJSON{Pair: linkJSON(v.Pair), Likelihood: v.Likelihood, Probes: v.Probes}
 	}
-	writeJSON(w, http.StatusOK, IsolationResponse{Pairs: pairs})
+	s.writeJSON(w, http.StatusOK, IsolationResponse{Pairs: pairs})
 }
 
 func (s *Service) handleIsolationLift(w http.ResponseWriter, r *http.Request) {
 	a, errA := strconv.Atoi(r.PathValue("a"))
 	b, errB := strconv.Atoi(r.PathValue("b"))
 	if errA != nil || errB != nil || a < 0 || b < 0 || a == b {
-		writeError(w, http.StatusBadRequest, "isolation pair must be two distinct non-negative node ids")
+		s.writeError(w, http.StatusBadRequest, "isolation pair must be two distinct non-negative node ids")
 		return
 	}
 	pair := topology.MkLink(topology.NodeID(a), topology.NodeID(b))
 	if !s.iso.Lift(pair) {
-		writeError(w, http.StatusNotFound, "pair %s is not isolated", pair)
+		s.writeError(w, http.StatusNotFound, "pair %s is not isolated", pair)
 		return
 	}
-	writeJSON(w, http.StatusOK, LiftResponse{Pair: linkJSON(pair), Lifted: true})
+	s.writeJSON(w, http.StatusOK, LiftResponse{Pair: linkJSON(pair), Lifted: true})
 }
