@@ -1,0 +1,126 @@
+// Command samgate fronts a samserve fleet with one endpoint. It places every
+// profile on a replica by rendezvous hashing, proxies profile-scoped requests
+// (/v1/detect, /v1/detect/batch, /v1/detect/stream, profile CRUD) to the
+// owner, scatters /v1/train/batch grids across the replicas owning each
+// scenario's profile and merges the results in grid order — byte-identical
+// to a single-replica sweep, because training derives all randomness from
+// grid coordinates — and repairs placement by shipping profile snapshot
+// records: pull-on-miss when an owner answers 404, and an optional periodic
+// anti-entropy pass. Replica health is checked in the background and routing
+// fails over past unreachable replicas.
+//
+// Usage:
+//
+//	samgate -replicas http://h1:8080,http://h2:8080 [-addr :8070]
+//	        [-health-interval 2s] [-sync-interval 0] [-no-pull-on-miss]
+//	        [-max-body 0] [-retries 4] [-log-format text|json]
+//
+// -sync-interval 0 disables anti-entropy (pull-on-miss still repairs lazily);
+// -no-pull-on-miss leaves misses as the owner's 404.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"samnet/internal/cli"
+	"samnet/internal/cluster"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8070", "listen address")
+		replicas       = flag.String("replicas", "", "comma-separated samserve base URLs (required)")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "replica health sweep period (<=0 disables the background checker)")
+		syncInterval   = flag.Duration("sync-interval", 0, "anti-entropy profile sync period (0 = disabled)")
+		noPullOnMiss   = flag.Bool("no-pull-on-miss", false, "do not repair owner 404s by pulling the profile from another replica")
+		maxBody        = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
+		retries        = flag.Int("retries", 0, "attempts per scatter sub-request on 429 (0 = default 4)")
+		logFormat      = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+
+	logger, err := cli.NewLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "samgate:", err)
+		os.Exit(2)
+	}
+	addrs := strings.Split(*replicas, ",")
+	if *replicas == "" {
+		fmt.Fprintln(os.Stderr, "samgate: -replicas is required (comma-separated samserve URLs)")
+		os.Exit(2)
+	}
+
+	// -health-interval <= 0 means "check once at boot, never again"; the
+	// config's 0 value would select the default, so map it below zero.
+	hi := *healthInterval
+	if hi <= 0 {
+		hi = -1
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Replicas:          addrs,
+		MaxAttempts:       *retries,
+		HealthInterval:    hi,
+		SyncInterval:      *syncInterval,
+		DisablePullOnMiss: *noPullOnMiss,
+		MaxBodyBytes:      *maxBody,
+		Logger:            logger,
+	})
+	if err != nil {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+
+	healthy := 0
+	for _, st := range gw.Fleet().Statuses() {
+		if st.Healthy {
+			healthy++
+		}
+	}
+	logger.Info("starting",
+		"addr", *addr, "replicas", len(addrs), "healthy", healthy,
+		"health_interval", *healthInterval, "sync_interval", *syncInterval,
+		"pull_on_miss", !*noPullOnMiss)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Scatter-gathered training sweeps and streams run long; the stream
+		// handler manages its own idle deadline, and train/batch lifts the
+		// write deadline like the replicas do.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown incomplete", "err", err)
+	}
+	gw.Close()
+	logger.Info("stopped")
+}

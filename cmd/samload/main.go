@@ -8,14 +8,31 @@
 //
 // Usage:
 //
-//	samload [-addr http://host:port] [-clients N] [-duration 5s]
+//	samload [-addr http://host:port | -addrs http://h1:port,http://h2:port]
+//	        [-clients N] [-duration 5s]
 //	        [-requests N] [-batch K] [-stream]
 //	        [-topo cluster|uniform6x6|uniform10x6]
-//	        [-tier K] [-train N] [-corpus N] [-profile name] [-seed S]
-//	        [-log-format text|json]
+//	        [-tier K] [-train N] [-corpus N] [-profile name] [-profiles N]
+//	        [-verdicts file.ndjson] [-seed S] [-log-format text|json]
 //
 // With no -addr, samload starts an in-process samserve on a loopback port
 // and benchmarks that, so `samload` alone measures the full serving path.
+//
+// Fleet mode: -addrs drives several replicas directly, placing each request
+// on the replica owning its profile with the same rendezvous hash samgate
+// uses, and reports per-replica throughput/latency/accuracy next to the
+// aggregate. Pointing -addr at a samgate gateway is the other fleet mode —
+// placement then happens server-side. -profiles N shards the workload over N
+// profiles named <profile>-0..<profile>-(N-1) (trained identically), so a
+// fleet actually has placement to do; the default single profile lands on
+// one replica. Invalid flag combinations fail immediately (exit 2) instead
+// of silently degrading.
+//
+// -verdicts scores the whole corpus once — sequentially, in corpus order,
+// with adaptive updates off — before the load phase, appending each raw
+// response body to the file. Two runs over the same corpus (say, one against
+// a lone replica and one through a gateway) must produce byte-identical
+// files; CI diffs them to prove the fleet serves the same verdicts.
 //
 // -stream switches each client from request/response over /v1/detect to the
 // NDJSON pipeline on /v1/detect/stream: one long-lived POST per client, with
@@ -52,6 +69,7 @@ import (
 
 	samnet "samnet"
 	"samnet/internal/cli"
+	"samnet/internal/cluster"
 	"samnet/internal/obs"
 	"samnet/internal/service"
 )
@@ -60,13 +78,36 @@ import (
 var logger = slog.Default()
 
 type corpusItem struct {
-	payload []byte // pre-marshalled request body
-	attacks []bool // ground truth per route set in the body
+	payload  []byte // pre-marshalled request body
+	noUpdate []byte // same request with adaptive updates off (verdict pass)
+	attacks  []bool // ground truth per route set in the body
+	target   int    // fleet.bases index this item routes to
+}
+
+// fleet is the set of servers under load: one base URL in single/gateway
+// mode, several with client-side rendezvous placement in -addrs mode.
+type fleet struct {
+	bases []string
+	ring  *cluster.Ring // nil = everything routes to bases[0]
+}
+
+func (f *fleet) owner(profile string) int {
+	if f.ring == nil {
+		return 0
+	}
+	addr := f.ring.Owner(profile)
+	for i, b := range f.bases {
+		if b == addr {
+			return i
+		}
+	}
+	return 0
 }
 
 func main() {
 	var (
 		addr      = flag.String("addr", "", "server base URL (empty = start an in-process server)")
+		addrs     = flag.String("addrs", "", "comma-separated replica base URLs for client-side fleet placement (mutually exclusive with -addr)")
 		clients   = flag.Int("clients", 32, "concurrent client goroutines")
 		duration  = flag.Duration("duration", 5*time.Second, "load duration (ignored when -requests > 0)")
 		requests  = flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
@@ -77,23 +118,58 @@ func main() {
 		train     = flag.Int("train", 30, "normal discoveries used to train the profile")
 		corpus    = flag.Int("corpus", 64, "evaluation discoveries per condition (normal and attacked)")
 		profile   = flag.String("profile", "default", "profile name to train and score against")
+		profiles  = flag.Int("profiles", 1, "profile shards: train N identical profiles <profile>-0..N-1 and spread the corpus over them")
+		verdicts  = flag.String("verdicts", "", "before the load phase, score the corpus once sequentially with updates off and write the raw response bodies to this file")
 		seed      = flag.Uint64("seed", 2005, "master seed")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
-	if *batch < 1 {
-		*batch = 1
-	}
 
 	var err error
 	if logger, err = cli.NewLogger(*logFormat); err != nil {
 		fatal(err)
 	}
-	if *stream && *batch != 1 {
-		fatal(fmt.Errorf("-stream requires -batch 1 (got -batch %d)", *batch))
+	// Fail fast on every invalid flag at once: a load run that silently
+	// "fixes" its parameters benchmarks something other than what was asked.
+	var bad []string
+	if *batch < 1 {
+		bad = append(bad, fmt.Sprintf("-batch %d: want >= 1", *batch))
+	}
+	if *clients < 1 {
+		bad = append(bad, fmt.Sprintf("-clients %d: want >= 1", *clients))
+	}
+	if *requests < 0 {
+		bad = append(bad, fmt.Sprintf("-requests %d: want >= 0", *requests))
+	}
+	if *requests == 0 && *duration <= 0 {
+		bad = append(bad, fmt.Sprintf("-duration %s: want > 0 when -requests is 0", *duration))
+	}
+	if *train < 1 {
+		bad = append(bad, fmt.Sprintf("-train %d: want >= 1", *train))
+	}
+	if *corpus < 1 {
+		bad = append(bad, fmt.Sprintf("-corpus %d: want >= 1", *corpus))
+	}
+	if *profiles < 1 {
+		bad = append(bad, fmt.Sprintf("-profiles %d: want >= 1", *profiles))
+	}
+	if *stream && *batch > 1 {
+		bad = append(bad, fmt.Sprintf("-stream requires -batch 1 (got -batch %d)", *batch))
+	}
+	if *addr != "" && *addrs != "" {
+		bad = append(bad, "-addr and -addrs are mutually exclusive (use -addr for one server or a gateway, -addrs for client-side fleet placement)")
+	}
+	if *stream && *addrs != "" {
+		bad = append(bad, "-stream with -addrs is not supported: stream routing is per-line; point -addr at a samgate gateway instead")
+	}
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "samload:", msg)
+		}
+		os.Exit(2)
 	}
 
-	base, shutdown := resolveServer(*addr)
+	fl, shutdown := resolveFleet(*addr, *addrs)
 	defer shutdown()
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *clients * 2,
@@ -104,24 +180,68 @@ func main() {
 		"train", *train, "corpus", *corpus)
 	trainSets, normalSets, attackSets := generate(*topoName, *tier, *seed, *train, *corpus)
 
-	if err := trainProfile(client, base, *profile, trainSets); err != nil {
-		fatal(err)
+	// Shard names are deterministic, so two samload runs (or samload vs a
+	// gateway fleet) place the same profiles in the same order.
+	names := shardNames(*profile, *profiles)
+	for _, name := range names {
+		if err := trainProfile(client, fl.bases[fl.owner(name)], name, trainSets); err != nil {
+			fatal(err)
+		}
 	}
-	logger.Info("profile trained", "profile", *profile, "route_sets", len(trainSets))
+	logger.Info("profiles trained", "profiles", len(names), "route_sets", len(trainSets))
 
-	items := buildCorpus(*profile, normalSets, attackSets, *batch)
+	items := buildCorpus(names, fl, normalSets, attackSets, *batch)
+	if *verdicts != "" {
+		n, err := dumpVerdicts(client, fl, items, *batch, *verdicts)
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("verdicts written", "path", *verdicts, "responses", n)
+	}
 	var res *result
 	if *stream {
-		res = runStream(client, base, items, *clients, *requests, *duration)
+		res = runStream(client, fl.bases[0], items, *clients, *requests, *duration)
 	} else {
-		res = run(client, base, items, *clients, *requests, *duration, *batch)
+		res = run(client, fl, items, *clients, *requests, *duration, *batch)
 	}
-	res.report(os.Stdout)
-	scrapeServerMetrics(client, base)
-	res.summaryJSON(os.Stdout, mode(*stream, *batch))
+	res.report(os.Stdout, fl)
+	for _, base := range fl.bases {
+		scrapeServerMetrics(client, base)
+	}
+	res.summaryJSON(os.Stdout, mode(*stream, *batch), fl)
 	if res.errors > 0 && res.ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// shardNames expands -profile/-profiles into the workload's profile names.
+func shardNames(profile string, n int) []string {
+	if n == 1 {
+		return []string{profile}
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", profile, i)
+	}
+	return names
+}
+
+// resolveFleet maps the -addr/-addrs flags onto the fleet under load.
+func resolveFleet(addr, addrs string) (*fleet, func()) {
+	if addrs != "" {
+		var bases []string
+		for _, a := range strings.Split(addrs, ",") {
+			if a = strings.TrimSuffix(strings.TrimSpace(a), "/"); a != "" {
+				bases = append(bases, a)
+			}
+		}
+		if len(bases) == 0 {
+			fatal(fmt.Errorf("-addrs lists no usable URLs"))
+		}
+		return &fleet{bases: bases, ring: cluster.NewRing(bases)}, func() {}
+	}
+	base, shutdown := resolveServer(addr)
+	return &fleet{bases: []string{base}}, shutdown
 }
 
 // resolveServer returns the base URL to drive and a shutdown function. With
@@ -206,8 +326,12 @@ func trainProfile(client *http.Client, base, profile string, sets [][][]int) err
 }
 
 // buildCorpus pre-marshals the request bodies: alternating normal/attacked
-// route sets, grouped batch-at-a-time when batch > 1.
-func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpusItem {
+// route sets, grouped batch-at-a-time when batch > 1, each request assigned
+// a profile shard round-robin and routed to the replica owning that shard.
+// Assignment depends only on (names, corpus order), so every run over the
+// same flags produces the same request sequence — the property the -verdicts
+// byte-diff rests on.
+func buildCorpus(names []string, fl *fleet, normal, attacked [][][]int, batch int) []corpusItem {
 	type labeled struct {
 		set    [][]int
 		attack bool
@@ -221,14 +345,26 @@ func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpus
 			all = append(all, labeled{attacked[i], true})
 		}
 	}
+	noUpdate := false
 	var items []corpusItem
 	if batch == 1 {
-		for _, l := range all {
-			body, err := json.Marshal(service.DetectRequest{Profile: profile, Routes: l.set})
+		for i, l := range all {
+			// The corpus alternates normal/attacked, so assign shards in
+			// pairs: i/2 keeps every shard scoring both labels (i alone would
+			// give even shard counts a single label each).
+			name := names[(i/2)%len(names)]
+			body, err := json.Marshal(service.DetectRequest{Profile: name, Routes: l.set})
 			if err != nil {
 				fatal(err)
 			}
-			items = append(items, corpusItem{payload: body, attacks: []bool{l.attack}})
+			frozen, err := json.Marshal(service.DetectRequest{Profile: name, Routes: l.set, Update: &noUpdate})
+			if err != nil {
+				fatal(err)
+			}
+			items = append(items, corpusItem{
+				payload: body, noUpdate: frozen,
+				attacks: []bool{l.attack}, target: fl.owner(name),
+			})
 		}
 		return items
 	}
@@ -237,7 +373,8 @@ func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpus
 		if end > len(all) {
 			end = len(all)
 		}
-		req := service.BatchDetectRequest{Profile: profile}
+		name := names[(at/batch)%len(names)]
+		req := service.BatchDetectRequest{Profile: name}
 		var truth []bool
 		for _, l := range all[at:end] {
 			req.Items = append(req.Items, l.set)
@@ -247,9 +384,53 @@ func buildCorpus(profile string, normal, attacked [][][]int, batch int) []corpus
 		if err != nil {
 			fatal(err)
 		}
-		items = append(items, corpusItem{payload: body, attacks: truth})
+		req.Update = &noUpdate
+		frozen, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		items = append(items, corpusItem{
+			payload: body, noUpdate: frozen,
+			attacks: truth, target: fl.owner(name),
+		})
 	}
 	return items
+}
+
+// dumpVerdicts scores every corpus item once — sequentially, in order,
+// adaptive updates off — and appends the raw response bodies to path. The
+// bodies are NDJSON already (the service newline-terminates every JSON
+// response), so the file diffs cleanly across runs: same corpus, same
+// verdict bytes, no matter how many replicas served it.
+func dumpVerdicts(client *http.Client, fl *fleet, items []corpusItem, batch int, path string) (int, error) {
+	suffix := "/v1/detect"
+	if batch > 1 {
+		suffix = "/v1/detect/batch"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	for i, item := range items {
+		resp, err := client.Post(fl.bases[item.target]+suffix, "application/json", bytes.NewReader(item.noUpdate))
+		if err != nil {
+			return i, fmt.Errorf("verdict %d: %w", i, err)
+		}
+		status := resp.StatusCode
+		_, err = io.Copy(f, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return i, fmt.Errorf("verdict %d: %w", i, err)
+		}
+		if status != http.StatusOK && status != http.StatusMultiStatus {
+			return i, fmt.Errorf("verdict %d: status %d", i, status)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return len(items), err
+	}
+	return len(items), nil
 }
 
 type result struct {
@@ -259,23 +440,41 @@ type result struct {
 	scored               int64          // route sets scored (ok requests * batch items)
 	truePos, falsePos    int64
 	attackSeen, normSeen int64
+	perReplica           []*replicaStats // one per fleet base in -addrs mode
+}
+
+// replicaStats is one replica's share of a fleet run.
+type replicaStats struct {
+	ok, errors, rejected int64
+	scored               int64
+	truePos, falsePos    int64
+	attackSeen, normSeen int64
+	latency              *obs.Histogram
 }
 
 // run drives the corpus with the given concurrency until the request budget
-// or deadline runs out.
-func run(client *http.Client, base string, items []corpusItem, clients, requests int, duration time.Duration, batch int) *result {
-	endpoint := base + "/v1/detect"
+// or deadline runs out, routing each item to its placed replica.
+func run(client *http.Client, fl *fleet, items []corpusItem, clients, requests int, duration time.Duration, batch int) *result {
+	suffix := "/v1/detect"
 	if batch > 1 {
-		endpoint = base + "/v1/detect/batch"
+		suffix = "/v1/detect/batch"
+	}
+	endpoints := make([]string, len(fl.bases))
+	for i, base := range fl.bases {
+		endpoints[i] = base + suffix
 	}
 
 	var next atomic.Int64
 	deadline := time.Now().Add(duration)
 	budget := int64(requests)
 
-	// The histogram is written concurrently by every client (atomic bucket
+	// Histograms are written concurrently by every client (atomic bucket
 	// counters), so latency needs no per-goroutine staging or merge.
 	res := &result{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
+	res.perReplica = make([]*replicaStats, len(fl.bases))
+	for i := range res.perReplica {
+		res.perReplica[i] = &replicaStats{latency: obs.NewHistogram(obs.DefaultLatencyBuckets)}
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -283,7 +482,7 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var ok, errs, rejected, scored, tp, fp, atk, nrm int64
+			local := make([]replicaStats, len(fl.bases))
 			for {
 				idx := next.Add(1) - 1
 				if budget > 0 {
@@ -294,55 +493,70 @@ func run(client *http.Client, base string, items []corpusItem, clients, requests
 					break
 				}
 				item := items[idx%int64(len(items))]
+				st := &local[item.target]
 				begin := time.Now()
-				decisions, status, err := post(client, endpoint, item.payload, batch)
+				decisions, status, err := post(client, endpoints[item.target], item.payload, batch)
 				took := time.Since(begin)
 				switch {
 				case err != nil:
-					errs++
+					st.errors++
 					continue
 				case status == http.StatusTooManyRequests:
-					rejected++
+					st.rejected++
 					continue
 				case status != http.StatusOK:
-					errs++
+					st.errors++
 					continue
 				}
-				ok++
+				st.ok++
 				res.latency.ObserveDuration(took)
+				res.perReplica[item.target].latency.ObserveDuration(took)
 				for i, dec := range decisions {
 					if i >= len(item.attacks) {
 						break
 					}
-					scored++
+					st.scored++
 					positive := dec != "normal"
 					if item.attacks[i] {
-						atk++
+						st.attackSeen++
 						if positive {
-							tp++
+							st.truePos++
 						}
 					} else {
-						nrm++
+						st.normSeen++
 						if positive {
-							fp++
+							st.falsePos++
 						}
 					}
 				}
 			}
 			mu.Lock()
-			res.ok += ok
-			res.errors += errs
-			res.rejected += rejected
-			res.scored += scored
-			res.truePos += tp
-			res.falsePos += fp
-			res.attackSeen += atk
-			res.normSeen += nrm
+			for i := range local {
+				dst, src := res.perReplica[i], &local[i]
+				dst.ok += src.ok
+				dst.errors += src.errors
+				dst.rejected += src.rejected
+				dst.scored += src.scored
+				dst.truePos += src.truePos
+				dst.falsePos += src.falsePos
+				dst.attackSeen += src.attackSeen
+				dst.normSeen += src.normSeen
+			}
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 	res.elapsed = time.Since(start)
+	for _, st := range res.perReplica {
+		res.ok += st.ok
+		res.errors += st.errors
+		res.rejected += st.rejected
+		res.scored += st.scored
+		res.truePos += st.truePos
+		res.falsePos += st.falsePos
+		res.attackSeen += st.attackSeen
+		res.normSeen += st.normSeen
+	}
 	return res
 }
 
@@ -605,7 +819,7 @@ func (r *result) quantileDur(q float64) time.Duration {
 	return time.Duration(r.quantile(q) * float64(time.Second))
 }
 
-func (r *result) report(w io.Writer) {
+func (r *result) report(w io.Writer, fl *fleet) {
 	rps := float64(r.ok) / r.elapsed.Seconds()
 	fmt.Fprintf(w, "requests:       %d ok, %d rejected (429), %d errors in %s\n",
 		r.ok, r.rejected, r.errors, r.elapsed.Round(time.Millisecond))
@@ -625,6 +839,22 @@ func (r *result) report(w io.Writer) {
 		fmt.Fprintf(w, "false positives: %.3f (%d/%d normal route sets flagged)\n",
 			float64(r.falsePos)/float64(r.normSeen), r.falsePos, r.normSeen)
 	}
+	if len(r.perReplica) > 1 {
+		for i, st := range r.perReplica {
+			line := fmt.Sprintf("replica %-28s %d ok, %d rejected, %d errors, %.0f req/s",
+				fl.bases[i]+":", st.ok, st.rejected, st.errors, float64(st.ok)/r.elapsed.Seconds())
+			if st.latency.Count() > 0 {
+				p50 := time.Duration(st.latency.Quantile(0.50) * float64(time.Second))
+				p95 := time.Duration(st.latency.Quantile(0.95) * float64(time.Second))
+				line += fmt.Sprintf(", p50 %s, p95 %s",
+					p50.Round(time.Microsecond), p95.Round(time.Microsecond))
+			}
+			if st.attackSeen > 0 {
+				line += fmt.Sprintf(", detection %.3f", float64(st.truePos)/float64(st.attackSeen))
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
 }
 
 // summary is the machine-readable run record emitted as the last stdout
@@ -643,15 +873,50 @@ type summary struct {
 	MaxS          float64 `json:"max_s"`
 	DetectionRate float64 `json:"detection_rate"`
 	FalsePosRate  float64 `json:"false_positive_rate"`
+	// Replicas breaks the run down per replica in -addrs fleet mode.
+	Replicas []replicaSummary `json:"replicas,omitempty"`
 }
 
-func (r *result) summaryJSON(w io.Writer, mode string) {
+// replicaSummary is one replica's row in the fleet summary.
+type replicaSummary struct {
+	Addr          string  `json:"addr"`
+	OK            int64   `json:"ok"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	RequestsPerS  float64 `json:"req_per_s"`
+	P50S          float64 `json:"p50_s"`
+	P95S          float64 `json:"p95_s"`
+	DetectionRate float64 `json:"detection_rate"`
+}
+
+func (r *result) summaryJSON(w io.Writer, mode string, fl *fleet) {
 	s := summary{
 		Mode:     mode,
 		OK:       r.ok,
 		Rejected: r.rejected,
 		Errors:   r.errors,
 		ElapsedS: r.elapsed.Seconds(),
+	}
+	if len(r.perReplica) > 1 {
+		for i, st := range r.perReplica {
+			rs := replicaSummary{
+				Addr:     fl.bases[i],
+				OK:       st.ok,
+				Rejected: st.rejected,
+				Errors:   st.errors,
+			}
+			if r.elapsed > 0 {
+				rs.RequestsPerS = float64(st.ok) / r.elapsed.Seconds()
+			}
+			if st.latency.Count() > 0 {
+				rs.P50S = st.latency.Quantile(0.50)
+				rs.P95S = st.latency.Quantile(0.95)
+			}
+			if st.attackSeen > 0 {
+				rs.DetectionRate = float64(st.truePos) / float64(st.attackSeen)
+			}
+			s.Replicas = append(s.Replicas, rs)
+		}
 	}
 	if r.elapsed > 0 {
 		s.RequestsPerS = float64(r.ok) / r.elapsed.Seconds()

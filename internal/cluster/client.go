@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client issues requests to replicas under the fleet's retry discipline:
+//
+//   - 429 with Retry-After is honored with a bounded sleep-and-retry when the
+//     caller opts in (scatter sub-requests, sync ships) — a 429 means the
+//     replica shed the request before doing any work, so a retry is always
+//     safe, idempotent or not.
+//   - A dial failure (connection refused, no route) means the request never
+//     reached the replica; NotDelivered reports it so callers can fail over
+//     to the next-ranked replica safely even for state-changing methods.
+//   - Anything else is returned as-is: the request may have executed, and
+//     only the caller knows whether a retry is idempotent.
+type Client struct {
+	// HTTP is the underlying client (nil selects http.DefaultClient). It
+	// should carry no global timeout: training sweeps run long, and per-call
+	// deadlines belong to the request context.
+	HTTP *http.Client
+	// MaxAttempts caps tries per call when retry429 is set (default 4).
+	MaxAttempts int
+	// RetryBudget caps the total Retry-After sleep per call (default 10s).
+	RetryBudget time.Duration
+	// sleep is the test seam for Retry-After waits.
+	sleep func(time.Duration)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *Client) budget() time.Duration {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 10 * time.Second
+}
+
+func (c *Client) doSleep(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// NotDelivered reports whether err means the request never reached the
+// server — the connection could not be established — making a retry against
+// another replica safe regardless of the request's method.
+func NotDelivered(err error) bool {
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return opErr.Op == "dial"
+	}
+	return false
+}
+
+// do issues one request with a buffered body. With retry429 set, 429
+// responses are retried after their Retry-After delay until MaxAttempts or
+// the sleep budget runs out (the last 429 response is then returned to the
+// caller, who can pass it through). The response body is the caller's to
+// close.
+func (c *Client) do(ctx context.Context, method, url, contentType string, body []byte, retry429 bool) (*http.Response, error) {
+	budget := c.budget()
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		req.ContentLength = int64(len(body))
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retry429 || resp.StatusCode != http.StatusTooManyRequests || attempt >= c.attempts() {
+			return resp, nil
+		}
+		wait := retryAfter(resp)
+		if wait > budget {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		budget -= wait
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		c.doSleep(wait)
+	}
+}
+
+// retryAfter parses a 429's Retry-After seconds, defaulting to 1s (what
+// samserve sends) and clamping to [100ms, 30s].
+func retryAfter(resp *http.Response) time.Duration {
+	wait := time.Second
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait < 100*time.Millisecond {
+		wait = 100 * time.Millisecond
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	return wait
+}
+
+// getJSON fetches url and decodes its 200 body into v. Non-200 statuses are
+// returned as errors carrying the body's error text.
+func (c *Client) getJSON(ctx context.Context, url string, v any) error {
+	resp, err := c.do(ctx, http.MethodGet, url, "", nil, true)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	return decodeBody(resp.Body, v)
+}
+
+// statusError summarizes a non-2xx response, preferring the JSON error body.
+func statusError(resp *http.Response) error {
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if len(blob) > 0 {
+		return fmt.Errorf("status %s: %s", resp.Status, bytes.TrimSpace(blob))
+	}
+	return fmt.Errorf("status %s", resp.Status)
+}
+
+func decodeBody(r io.Reader, v any) error {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(blob, v)
+}

@@ -1,0 +1,781 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samnet/internal/obs"
+	"samnet/internal/service"
+)
+
+// GatewayConfig tunes a scatter-gather gateway. Replicas is required; the
+// zero value of everything else selects sensible defaults.
+type GatewayConfig struct {
+	// Replicas is the fleet membership: samserve base URLs.
+	Replicas []string
+	// HTTP is the outbound client (nil builds one with a pooled transport
+	// sized for the fleet). It must carry no global timeout.
+	HTTP *http.Client
+	// MaxAttempts and RetryBudget bound the 429 retry discipline on scatter
+	// sub-requests and sync ships (defaults 4 attempts, 10s budget).
+	MaxAttempts int
+	RetryBudget time.Duration
+	// HealthInterval is the background health sweep period (default 2s,
+	// negative disables the background checker).
+	HealthInterval time.Duration
+	// SyncInterval enables periodic anti-entropy profile sync (0 disables).
+	SyncInterval time.Duration
+	// DisablePullOnMiss turns off the 404 repair path (pull the profile's
+	// snapshot record from a holder, ship to the owner, retry once).
+	DisablePullOnMiss bool
+	// MaxBodyBytes caps buffered request bodies (default 8 MiB, matching the
+	// replicas).
+	MaxBodyBytes int64
+	// Registry receives the gateway's samgate_* instruments (nil creates a
+	// private registry).
+	Registry *obs.Registry
+	// Logger receives gateway warnings (nil selects slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.HTTP == nil {
+		per := 2 * len(c.Replicas)
+		if per < 32 {
+			per = 32
+		}
+		c.HTTP = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        per * len(c.Replicas),
+			MaxIdleConnsPerHost: per,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return c
+}
+
+// Gateway fronts a samserve fleet: profile-scoped requests are proxied to
+// the replica owning the profile (rendezvous placement over the fleet, the
+// first healthy replica in rank order), training grids are scattered across
+// owners and merged deterministically, and profiles missing at their owner
+// are repaired by shipping snapshot records from whichever replica still
+// holds them.
+type Gateway struct {
+	cfg     GatewayConfig
+	fleet   *Fleet
+	client  *Client
+	metrics *gwMetrics
+	mux     *http.ServeMux
+	logger  *slog.Logger
+	rr      atomic.Uint64 // round-robin cursor for profile-less endpoints
+
+	syncStop, syncDone chan struct{}
+	closeOnce          sync.Once
+}
+
+// NewGateway builds a gateway over the given fleet configuration, runs one
+// synchronous health sweep so routing starts informed, and launches the
+// background health (and optionally anti-entropy) loops.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	client := &Client{HTTP: cfg.HTTP, MaxAttempts: cfg.MaxAttempts, RetryBudget: cfg.RetryBudget}
+	fleet, err := NewFleet(cfg.Replicas, client)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		fleet:   fleet,
+		client:  client,
+		metrics: newGWMetrics(cfg.Registry),
+		logger:  cfg.Logger,
+	}
+	cfg.Registry.GaugeFunc("samgate_replicas",
+		"Replicas in the fleet membership.",
+		func() float64 { return float64(len(fleet.Replicas())) })
+	cfg.Registry.GaugeFunc("samgate_replicas_healthy",
+		"Replicas currently passing health checks.",
+		func() float64 { return float64(fleet.HealthyCount()) })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", g.instrument("analyze", g.handleStateless("/v1/analyze")))
+	mux.HandleFunc("POST /v1/detect", g.instrument("detect", g.handleDetect("/v1/detect")))
+	mux.HandleFunc("POST /v1/detect/batch", g.instrument("detect_batch", g.handleDetect("/v1/detect/batch")))
+	mux.HandleFunc("POST /v1/detect/stream", g.instrument("detect_stream", g.handleDetectStream))
+	mux.HandleFunc("POST /v1/train/batch", g.instrument("train_batch", g.handleTrainBatch))
+	mux.HandleFunc("POST /v1/profiles/{name}/train", g.instrument("train", g.handleProfileScoped(http.MethodPost, "/train")))
+	mux.HandleFunc("GET /v1/profiles", g.instrument("profiles", g.handleListProfiles))
+	mux.HandleFunc("GET /v1/profiles/{name}", g.instrument("profile_get", g.handleProfileGet))
+	mux.HandleFunc("PUT /v1/profiles/{name}", g.instrument("profile_put", g.handleProfileScoped(http.MethodPut, "")))
+	mux.HandleFunc("DELETE /v1/profiles/{name}", g.instrument("profile_delete", g.handleProfileDelete))
+	mux.HandleFunc("POST /v1/verify", g.instrument("verify", g.handleStateless("/v1/verify")))
+	mux.HandleFunc("GET /v1/isolation", g.instrument("isolation", g.handleIsolation))
+	mux.HandleFunc("DELETE /v1/isolation/{a}/{b}", g.instrument("isolation_lift", g.handleIsolationLift))
+	mux.HandleFunc("GET /v1/cluster", g.instrument("cluster", g.handleCluster))
+	mux.Handle("GET /metrics", cfg.Registry.Handler())
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux = mux
+
+	boot, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	fleet.CheckNow(boot)
+	cancel()
+	fleet.Start(cfg.HealthInterval)
+	if cfg.SyncInterval > 0 {
+		g.syncStop, g.syncDone = make(chan struct{}), make(chan struct{})
+		go g.syncLoop(cfg.SyncInterval)
+	}
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Fleet returns the gateway's fleet view (health, placement).
+func (g *Gateway) Fleet() *Fleet { return g.fleet }
+
+// Registry returns the registry holding the gateway's instruments.
+func (g *Gateway) Registry() *obs.Registry { return g.cfg.Registry }
+
+// SyncNow runs one synchronous anti-entropy pass, returning how many
+// snapshot records were shipped to their owners.
+func (g *Gateway) SyncNow(ctx context.Context) int { return g.syncOnce(ctx) }
+
+// Close stops the health checker and the anti-entropy loop.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		if g.syncStop != nil {
+			close(g.syncStop)
+			<-g.syncDone
+		}
+		g.fleet.Close()
+	})
+}
+
+func (g *Gateway) syncLoop(interval time.Duration) {
+	defer close(g.syncDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.syncStop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			g.syncOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// --- plumbing ---------------------------------------------------------------
+
+var gwCTJSON = []string{"application/json"}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header()["Content-Type"] = gwCTJSON
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		g.metrics.respErrs.Inc()
+		g.logger.Warn("response encode failed", "err", err)
+	}
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	g.writeJSON(w, status, service.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody buffers the (size-limited) request body, answering the error
+// itself when the read fails.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(*http.MaxBytesError); ok {
+			status = http.StatusRequestEntityTooLarge
+		}
+		g.writeError(w, status, "request body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// copyResponse relays a replica response verbatim: status, content type, and
+// body bytes. The gateway is transparent on proxied paths — what the replica
+// answered is exactly what the client reads.
+func (g *Gateway) copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if resp.ContentLength >= 0 {
+		w.Header()["Content-Length"] = []string{fmt.Sprint(resp.ContentLength)}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		g.metrics.respErrs.Inc()
+		g.logger.Warn("response relay failed", "err", err)
+	}
+}
+
+// rrOrder returns the healthy replicas rotated by a round-robin cursor — the
+// routing order for endpoints with no profile affinity (analyze, verify).
+// Falls back to the full membership when nothing is healthy.
+func (g *Gateway) rrOrder() []string {
+	all := g.fleet.Replicas()
+	healthy := make([]string, 0, len(all))
+	for _, addr := range all {
+		if g.fleet.Healthy(addr) {
+			healthy = append(healthy, addr)
+		}
+	}
+	if len(healthy) == 0 {
+		healthy = append(healthy, all...)
+	}
+	n := int(g.rr.Add(1)) % len(healthy)
+	return append(healthy[n:], healthy[:n]...)
+}
+
+// proxy forwards a buffered-body request along rank until a replica answers.
+// Dial failures (request never delivered) fail over for every method and
+// mark the replica down; other transport failures and 5xx answers fail over
+// only when idempotent is set. When profile is non-empty and the effective
+// owner answers 404 unknown-profile, pull-on-miss ships the profile's
+// snapshot record from a holder to the owner and retries once.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, rank []string, path string, body []byte, profile string, idempotent bool) {
+	ctx := r.Context()
+	var lastErr error
+	for i, addr := range rank {
+		resp, err := g.client.do(ctx, r.Method, addr+path, r.Header.Get("Content-Type"), body, false)
+		if err != nil {
+			lastErr = err
+			if NotDelivered(err) {
+				g.fleet.MarkDown(addr, err)
+				g.metrics.failovers.Inc()
+				continue
+			}
+			if idempotent && i+1 < len(rank) {
+				g.metrics.failovers.Inc()
+				continue
+			}
+			g.writeError(w, http.StatusBadGateway, "replica %s: %v", addr, err)
+			return
+		}
+		if resp.StatusCode == http.StatusNotFound && profile != "" && !g.cfg.DisablePullOnMiss && i == 0 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if g.pullOnMiss(ctx, profile, rank) {
+				retry, rerr := g.client.do(ctx, r.Method, addr+path, r.Header.Get("Content-Type"), body, false)
+				if rerr == nil {
+					g.copyResponse(w, retry)
+					return
+				}
+				g.writeError(w, http.StatusBadGateway, "replica %s: %v", addr, rerr)
+				return
+			}
+			// No holder anywhere: the profile genuinely does not exist.
+			// Answer the canonical replica error body.
+			g.writeError(w, http.StatusNotFound, "unknown profile: %q", profile)
+			return
+		}
+		if resp.StatusCode >= 500 && idempotent && i+1 < len(rank) {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			g.metrics.failovers.Inc()
+			continue
+		}
+		g.copyResponse(w, resp)
+		return
+	}
+	g.writeError(w, http.StatusBadGateway, "no replica reachable: %v", lastErr)
+}
+
+// --- endpoint handlers ------------------------------------------------------
+
+// handleStateless proxies an endpoint with no profile affinity (analyze,
+// verify) to the healthy replicas in round-robin order.
+func (g *Gateway) handleStateless(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := g.readBody(w, r)
+		if !ok {
+			return
+		}
+		g.proxy(w, r, g.rrOrder(), path, body, "", false)
+	}
+}
+
+// handleDetect proxies /v1/detect and /v1/detect/batch to the replica owning
+// the request's profile.
+func (g *Gateway) handleDetect(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, ok := g.readBody(w, r)
+		if !ok {
+			return
+		}
+		profile := profileField(body)
+		if profile == "" {
+			// The replica owns the error contract for a missing profile; any
+			// replica produces the canonical body.
+			g.proxy(w, r, g.rrOrder(), path, body, "", false)
+			return
+		}
+		g.proxy(w, r, g.fleet.RankHealthy(profile, nil), path, body, profile, false)
+	}
+}
+
+// handleProfileScoped proxies {name}-scoped mutations (train, PUT) to the
+// profile's owner.
+func (g *Gateway) handleProfileScoped(method, suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, ok := g.readBody(w, r)
+		if !ok {
+			return
+		}
+		path := "/v1/profiles/" + name + suffix
+		g.proxy(w, r, g.fleet.RankHealthy(name, nil), path, body, "", false)
+	}
+}
+
+// handleProfileGet serves GET /v1/profiles/{name}: the owner first, then —
+// reads being idempotent — any replica still holding the profile (a stale
+// copy is better than a 404 during a failover window; placement repair is
+// pull-on-miss's and anti-entropy's job).
+func (g *Gateway) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ctx := r.Context()
+	rank := g.fleet.RankHealthy(name, nil)
+	var notFound *http.Response
+	for _, addr := range rank {
+		resp, err := g.client.do(ctx, http.MethodGet, addr+"/v1/profiles/"+name, "", nil, false)
+		if err != nil {
+			if NotDelivered(err) {
+				g.fleet.MarkDown(addr, err)
+			}
+			g.metrics.failovers.Inc()
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			if notFound != nil {
+				notFound.Body.Close()
+			}
+			g.copyResponse(w, resp)
+			return
+		}
+		if notFound == nil {
+			notFound = resp // keep the owner's error body
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if notFound != nil {
+		g.copyResponse(w, notFound)
+		return
+	}
+	g.writeError(w, http.StatusBadGateway, "no replica reachable")
+}
+
+// handleProfileDelete broadcasts the delete to every replica: stale copies
+// (left by failovers or membership changes) must go too, or pull-on-miss
+// would resurrect the profile from one of them.
+func (g *Gateway) handleProfileDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ctx := r.Context()
+	deleted := false
+	for _, addr := range g.fleet.Replicas() {
+		resp, err := g.client.do(ctx, http.MethodDelete, addr+"/v1/profiles/"+name, "", nil, false)
+		if err != nil {
+			if NotDelivered(err) {
+				g.fleet.MarkDown(addr, err)
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			deleted = true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if !deleted {
+		g.writeError(w, http.StatusNotFound, "unknown profile: %q", name)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, service.DeleteProfileResponse{Profile: name, Deleted: true})
+}
+
+// handleListProfiles scatters GET /v1/profiles to every healthy replica and
+// merges the union: one entry per profile name (the effective owner's entry
+// wins when several replicas hold copies), sorted by name like a single
+// replica's listing.
+func (g *Gateway) handleListProfiles(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	byName := make(map[string]service.ProfileInfo)
+	fromOwner := make(map[string]bool)
+	reached := false
+	for _, addr := range g.fleet.Replicas() {
+		if !g.fleet.Healthy(addr) {
+			continue
+		}
+		var infos []service.ProfileInfo
+		if err := g.client.getJSON(ctx, addr+"/v1/profiles", &infos); err != nil {
+			continue
+		}
+		reached = true
+		for _, info := range infos {
+			owner := g.fleet.Owner(info.Name) == addr
+			if _, seen := byName[info.Name]; !seen || (owner && !fromOwner[info.Name]) {
+				byName[info.Name] = info
+				fromOwner[info.Name] = owner
+			}
+		}
+	}
+	if !reached {
+		g.writeError(w, http.StatusBadGateway, "no replica reachable")
+		return
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	infos := make([]service.ProfileInfo, 0, len(names))
+	for _, name := range names {
+		infos = append(infos, byName[name])
+	}
+	g.writeJSON(w, http.StatusOK, infos)
+}
+
+// handleIsolation merges every replica's isolation list: the union of
+// condemned pairs (verification routes round-robin, so any replica may hold
+// a pair), each reported once with its strongest evidence, sorted by pair.
+func (g *Gateway) handleIsolation(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	type key struct{ a, b int }
+	merged := make(map[key]service.IsolatedPairJSON)
+	reached := false
+	for _, addr := range g.fleet.Replicas() {
+		if !g.fleet.Healthy(addr) {
+			continue
+		}
+		var ir service.IsolationResponse
+		if err := g.client.getJSON(ctx, addr+"/v1/isolation", &ir); err != nil {
+			continue
+		}
+		reached = true
+		for _, p := range ir.Pairs {
+			k := key{p.Pair.A, p.Pair.B}
+			if have, ok := merged[k]; !ok || p.Likelihood > have.Likelihood ||
+				(p.Likelihood == have.Likelihood && p.Probes > have.Probes) {
+				merged[k] = p
+			}
+		}
+	}
+	if !reached {
+		g.writeError(w, http.StatusBadGateway, "no replica reachable")
+		return
+	}
+	keys := make([]key, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	pairs := make([]service.IsolatedPairJSON, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, merged[k])
+	}
+	g.writeJSON(w, http.StatusOK, service.IsolationResponse{Pairs: pairs})
+}
+
+// handleIsolationLift broadcasts the lift: the pair may be condemned on any
+// subset of replicas.
+func (g *Gateway) handleIsolationLift(w http.ResponseWriter, r *http.Request) {
+	a, b := r.PathValue("a"), r.PathValue("b")
+	ctx := r.Context()
+	var lifted *http.Response
+	for _, addr := range g.fleet.Replicas() {
+		resp, err := g.client.do(ctx, http.MethodDelete, addr+"/v1/isolation/"+a+"/"+b, "", nil, false)
+		if err != nil {
+			if NotDelivered(err) {
+				g.fleet.MarkDown(addr, err)
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK && lifted == nil {
+			lifted = resp
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if lifted == nil {
+		g.writeError(w, http.StatusNotFound, "pair (%s,%s) is not isolated", a, b)
+		return
+	}
+	g.copyResponse(w, lifted)
+}
+
+// handleHealthz reports gateway health: 200 while at least one replica is
+// routable, 503 otherwise.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := g.fleet.HealthyCount()
+	status := http.StatusOK
+	state := "ok"
+	if healthy == 0 {
+		status, state = http.StatusServiceUnavailable, "no healthy replicas"
+	}
+	g.writeJSON(w, status, map[string]any{
+		"status":   state,
+		"replicas": len(g.fleet.Replicas()),
+		"healthy":  healthy,
+	})
+}
+
+// handleCluster serves the fleet view: membership, health, and — with
+// ?profile=name — the placement decision for one profile.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Replicas []ReplicaStatus `json:"replicas"`
+		Profile  string          `json:"profile,omitempty"`
+		Owner    string          `json:"owner,omitempty"`
+		Rank     []string        `json:"rank,omitempty"`
+	}{Replicas: g.fleet.Statuses()}
+	if name := r.URL.Query().Get("profile"); name != "" {
+		resp.Profile = name
+		resp.Rank = g.fleet.RankHealthy(name, nil)
+		resp.Owner = resp.Rank[0]
+	}
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+// profileField extracts the top-level "profile" string from a detect body.
+// The fast path scans for the key without a full decode (the gateway sits on
+// the detect hot path); any ambiguity — zero or several occurrences, escape
+// sequences, non-string values — falls back to real JSON decoding, so
+// routing is exact whenever the fast path answers.
+func profileField(body []byte) string {
+	const mark = `"profile"`
+	i := bytes.Index(body, []byte(mark))
+	if i >= 0 && bytes.Index(body[i+len(mark):], []byte(mark)) < 0 {
+		rest := body[i+len(mark):]
+		j := 0
+		for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t' || rest[j] == '\n' || rest[j] == '\r') {
+			j++
+		}
+		if j < len(rest) && rest[j] == ':' {
+			j++
+			for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t' || rest[j] == '\n' || rest[j] == '\r') {
+				j++
+			}
+			if j < len(rest) && rest[j] == '"' {
+				val := rest[j+1:]
+				if end := bytes.IndexByte(val, '"'); end >= 0 && bytes.IndexByte(val[:end], '\\') < 0 {
+					return string(val[:end])
+				}
+			}
+		}
+	}
+	var req struct {
+		Profile string `json:"profile"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return ""
+	}
+	return req.Profile
+}
+
+// --- scatter-gather batch training ------------------------------------------
+
+// handleTrainBatch splits a /v1/train/batch scenario grid across the
+// replicas owning each scenario's profile and merges the results back in
+// grid order. Each scenario's training streams derive from (seed, scenario
+// label, run index) alone — a pure function of grid coordinates — so where a
+// scenario runs cannot change what it trains, and the merged response is
+// byte-identical to a single replica sweeping the whole grid.
+func (g *Gateway) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.TrainBatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	names, err := service.ScenarioProfiles(req.Scenarios)
+	if err != nil {
+		// Invalid grids get the canonical replica error: forward verbatim.
+		g.proxy(w, r, g.rrOrder(), "/v1/train/batch", body, "", false)
+		return
+	}
+
+	// Group scenario indices by owning replica, preserving grid order.
+	owners := make(map[string][]int)
+	order := make([]string, 0, 4)
+	for i, name := range names {
+		addr := g.fleet.Owner(name)
+		if addr == "" {
+			g.writeError(w, http.StatusBadGateway, "no replica reachable")
+			return
+		}
+		if _, seen := owners[addr]; !seen {
+			order = append(order, addr)
+		}
+		owners[addr] = append(owners[addr], i)
+	}
+	if len(owners) == 1 {
+		// One owner: pure proxy, streaming progress and all.
+		g.proxy(w, r, []string{order[0]}, "/v1/train/batch", body, "", false)
+		return
+	}
+
+	// A sweep outlives the server's write timeout; lift it like the replica
+	// handler does.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
+	type shard struct {
+		addr    string
+		indices []int
+		resp    service.TrainBatchResponse
+		err     error
+	}
+	shards := make([]*shard, 0, len(order))
+	for _, addr := range order {
+		shards = append(shards, &shard{addr: addr, indices: owners[addr]})
+	}
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sub := service.TrainBatchRequest{
+				Runs:     req.Runs,
+				Seed:     req.Seed,
+				Parallel: req.Parallel,
+				// Stream is dropped: progress interleaving across replicas
+				// has no deterministic order; the merged result is one JSON.
+			}
+			for _, i := range sh.indices {
+				sub.Scenarios = append(sub.Scenarios, req.Scenarios[i])
+			}
+			blob, err := json.Marshal(sub)
+			if err != nil {
+				sh.err = err
+				return
+			}
+			resp, err := g.client.do(r.Context(), http.MethodPost, sh.addr+"/v1/train/batch",
+				"application/json", blob, true)
+			if err != nil {
+				sh.err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				sh.err = statusError(resp)
+				return
+			}
+			sh.err = decodeBody(resp.Body, &sh.resp)
+		}(sh)
+	}
+	wg.Wait()
+
+	merged := service.TrainBatchResponse{Scenarios: make([]service.TrainBatchResult, len(req.Scenarios))}
+	for _, sh := range shards {
+		if sh.err != nil {
+			g.writeError(w, http.StatusBadGateway, "train_batch scatter: replica %s: %v", sh.addr, sh.err)
+			return
+		}
+		if len(sh.resp.Scenarios) != len(sh.indices) {
+			g.writeError(w, http.StatusBadGateway,
+				"train_batch scatter: replica %s answered %d scenarios, want %d",
+				sh.addr, len(sh.resp.Scenarios), len(sh.indices))
+			return
+		}
+		for j, i := range sh.indices {
+			merged.Scenarios[i] = sh.resp.Scenarios[j]
+		}
+		// Effective runs and seed are grid-global constants; every shard
+		// reports the same values.
+		merged.Runs, merged.Seed = sh.resp.Runs, sh.resp.Seed
+	}
+	merged.Cells = len(req.Scenarios) * merged.Runs
+	g.metrics.scatters.Inc()
+	// Encoded exactly like a replica's writeJSON, so the merged body is
+	// byte-identical to a single-replica sweep of the same grid.
+	g.writeJSON(w, http.StatusOK, merged)
+}
+
+// --- metrics ----------------------------------------------------------------
+
+type gwMetrics struct {
+	reg        *obs.Registry
+	pulls      *obs.Counter
+	pullErrs   *obs.Counter
+	syncCopies *obs.Counter
+	failovers  *obs.Counter
+	scatters   *obs.Counter
+	respErrs   *obs.Counter
+}
+
+func newGWMetrics(reg *obs.Registry) *gwMetrics {
+	return &gwMetrics{
+		reg: reg,
+		pulls: reg.Counter("samgate_sync_pulls_total",
+			"Profiles repaired at their owner by pull-on-miss."),
+		pullErrs: reg.Counter("samgate_sync_errors_total",
+			"Failed snapshot-record ships (pull-on-miss or anti-entropy)."),
+		syncCopies: reg.Counter("samgate_antientropy_copies_total",
+			"Profiles shipped to their owners by anti-entropy passes."),
+		failovers: reg.Counter("samgate_failovers_total",
+			"Requests rerouted past an unreachable or failing replica."),
+		scatters: reg.Counter("samgate_train_scatters_total",
+			"Batch-training grids split across multiple replicas."),
+		respErrs: reg.Counter("samgate_response_errors_total",
+			"Response bodies that failed to encode or relay."),
+	}
+}
+
+// instrument wraps a handler with per-endpoint request counting and latency.
+func (g *Gateway) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := g.cfg.Registry.Counter("samgate_requests_total",
+		"Requests served, by endpoint.", obs.Label{Key: "endpoint", Value: name})
+	lat := g.cfg.Registry.Histogram("samgate_request_duration_seconds",
+		"Request latency.", obs.DefaultLatencyBuckets, obs.Label{Key: "endpoint", Value: name})
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		h(w, r)
+		reqs.Inc()
+		lat.ObserveDuration(time.Since(begin))
+	}
+}
+
+// readAll is io.ReadAll under a name the sync path shares.
+func readAll(r io.Reader) ([]byte, error) { return io.ReadAll(r) }

@@ -1,0 +1,586 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"samnet/internal/attack"
+	"samnet/internal/routing/mr"
+	"samnet/internal/service"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+)
+
+// genSets mirrors the service tests' corpus generator: n route sets from MR
+// discoveries on a 1-tier cluster, wormhole on or off.
+func genSets(n int, wormhole bool, seedBase uint64) [][][]int {
+	net := topology.Cluster(1, 2)
+	var sc *attack.Scenario
+	if wormhole {
+		sc = attack.NewScenario(net, 1, attack.Forward)
+		defer sc.Teardown()
+	}
+	out := make([][][]int, 0, n)
+	for i := 0; i < n; i++ {
+		s := sim.NewNetwork(net.Topo, sim.Config{Seed: seedBase + uint64(i)*7919})
+		if sc != nil {
+			sc.Arm(s)
+		}
+		d := (&mr.Protocol{}).Discover(s, net.SrcPool[0], net.DstPool[len(net.DstPool)-1])
+		set := make([][]int, len(d.Routes))
+		for j, r := range d.Routes {
+			nodes := make([]int, len(r))
+			for k, id := range r {
+				nodes[k] = int(id)
+			}
+			set[j] = nodes
+		}
+		out = append(out, set)
+	}
+	return out
+}
+
+// newReplica boots one samserve service on a test listener.
+func newReplica(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+// newTestGateway fronts the given replica URLs with background loops off.
+func newTestGateway(t *testing.T, replicas ...string) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := NewGateway(GatewayConfig{Replicas: replicas, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		g.Close()
+	})
+	return g, ts
+}
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, blob
+}
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// trainDirect trains profile name on one server with a deterministic corpus.
+func trainDirect(t *testing.T, baseURL, name string) {
+	t.Helper()
+	body := mustMarshal(t, service.TrainRequest{RouteSets: genSets(20, false, 1000)})
+	resp, blob := postRaw(t, baseURL+"/v1/profiles/"+name+"/train", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train %s: %d: %s", name, resp.StatusCode, blob)
+	}
+}
+
+// gridBody is the scatter test grid: four scenarios, four distinct profiles,
+// small runs so the sweep stays fast.
+func gridBody(t *testing.T) string {
+	t.Helper()
+	seed := uint64(2005)
+	return mustMarshal(t, service.TrainBatchRequest{
+		Scenarios: []service.TrainScenarioJSON{
+			{Topo: "cluster", Tier: 1, Protocol: "mr"},
+			{Topo: "cluster", Tier: 2, Protocol: "mr"},
+			{Topo: "cluster", Tier: 1, Protocol: "smr"},
+			{Topo: "cluster", Tier: 2, Protocol: "smr"},
+		},
+		Runs: 4,
+		Seed: &seed,
+	})
+}
+
+// TestGatewayTrainBatchScatterByteIdentity is the determinism acceptance
+// gate: a grid scattered across two replicas and merged by the gateway must
+// produce the exact bytes a single replica produces sweeping the whole grid.
+func TestGatewayTrainBatchScatterByteIdentity(t *testing.T) {
+	single := newReplica(t)
+	r1, r2 := newReplica(t), newReplica(t)
+	g, gw := newTestGateway(t, r1.URL, r2.URL)
+
+	body := gridBody(t)
+	resp, want := postRaw(t, single.URL+"/v1/train/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single sweep: %d: %s", resp.StatusCode, want)
+	}
+	resp, got := postRaw(t, gw.URL+"/v1/train/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scattered sweep: %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scattered sweep diverged from single replica:\n gw:     %s\n single: %s", got, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("scattered sweep Content-Type = %q", ct)
+	}
+
+	// The split actually happened (both replicas trained something) — the
+	// byte identity above would be vacuous if one replica took the grid.
+	if g.metrics.scatters.Value() == 0 {
+		t.Skip("grid placed on one replica; scatter not exercised with this membership")
+	}
+	for _, r := range []*httptest.Server{r1, r2} {
+		var infos []service.ProfileInfo
+		if err := g.client.getJSON(context.Background(), r.URL+"/v1/profiles", &infos); err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) == 0 {
+			t.Fatalf("replica %s trained nothing; grid was not split", r.URL)
+		}
+	}
+}
+
+// TestGatewayDetectByteTransparent scores one corpus twice — through the
+// gateway onto a 2-replica fleet, and against a lone replica — and requires
+// byte-identical verdict bodies in both worlds.
+func TestGatewayDetectByteTransparent(t *testing.T) {
+	single := newReplica(t)
+	r1, r2 := newReplica(t), newReplica(t)
+	_, gw := newTestGateway(t, r1.URL, r2.URL)
+
+	// Same grid trained in both worlds seeds identical profiles.
+	body := gridBody(t)
+	if resp, blob := postRaw(t, single.URL+"/v1/train/batch", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single train: %d: %s", resp.StatusCode, blob)
+	}
+	if resp, blob := postRaw(t, gw.URL+"/v1/train/batch", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet train: %d: %s", resp.StatusCode, blob)
+	}
+
+	profiles := []string{"cluster-1tier-MR", "cluster-2tier-MR", "cluster-1tier-SMR", "cluster-2tier-SMR"}
+	normal := genSets(4, false, 5000)
+	attacked := genSets(4, true, 6000)
+	var reqs []string
+	for i, p := range profiles {
+		reqs = append(reqs,
+			mustMarshal(t, service.DetectRequest{Profile: p, Routes: normal[i]}),
+			mustMarshal(t, service.DetectRequest{Profile: p, Routes: attacked[i]}),
+		)
+	}
+	// Scored strictly in order in both worlds, the adaptive profile updates
+	// replay identically, so every response must match byte for byte.
+	for i, req := range reqs {
+		_, want := postRaw(t, single.URL+"/v1/detect", req)
+		_, got := postRaw(t, gw.URL+"/v1/detect", req)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("detect %d diverged:\n gw:     %s\n single: %s", i, got, want)
+		}
+	}
+
+	// Batch detect is transparent too.
+	batch := mustMarshal(t, service.BatchDetectRequest{Profile: profiles[0], Items: genSets(3, false, 7000)})
+	_, want := postRaw(t, single.URL+"/v1/detect/batch", batch)
+	_, got := postRaw(t, gw.URL+"/v1/detect/batch", batch)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("detect/batch diverged:\n gw:     %s\n single: %s", got, want)
+	}
+}
+
+// TestGatewayStreamOrdered runs the NDJSON scatter: interleaved lines for
+// profiles owned by different replicas, plus a malformed line, must come
+// back as one response line per input line, in input order, byte-identical
+// to a lone replica scoring the same stream.
+func TestGatewayStreamOrdered(t *testing.T) {
+	single := newReplica(t)
+	r1, r2 := newReplica(t), newReplica(t)
+	g, gw := newTestGateway(t, r1.URL, r2.URL)
+
+	body := gridBody(t)
+	if resp, blob := postRaw(t, single.URL+"/v1/train/batch", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single train: %d: %s", resp.StatusCode, blob)
+	}
+	if resp, blob := postRaw(t, gw.URL+"/v1/train/batch", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet train: %d: %s", resp.StatusCode, blob)
+	}
+
+	// Confirm the stream really crosses replicas.
+	if g.fleet.Owner("cluster-1tier-MR") == g.fleet.Owner("cluster-2tier-MR") &&
+		g.fleet.Owner("cluster-1tier-MR") == g.fleet.Owner("cluster-1tier-SMR") &&
+		g.fleet.Owner("cluster-1tier-MR") == g.fleet.Owner("cluster-2tier-SMR") {
+		t.Skip("all stream profiles placed on one replica with this membership")
+	}
+
+	sets := genSets(8, false, 8000)
+	var in bytes.Buffer
+	profiles := []string{"cluster-1tier-MR", "cluster-2tier-MR", "cluster-1tier-SMR", "cluster-2tier-SMR"}
+	lines := 0
+	for i := 0; i < 8; i++ {
+		in.WriteString(mustMarshal(t, service.DetectRequest{Profile: profiles[i%4], Routes: sets[i]}))
+		in.WriteByte('\n')
+		lines++
+		if i == 3 {
+			in.WriteString("\n{not json\n") // blank line skipped, bad line answered
+			lines++
+		}
+	}
+
+	stream := func(url string) []string {
+		resp, err := http.Post(url+"/v1/detect/stream", "application/x-ndjson", bytes.NewReader(in.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream: %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("stream Content-Type = %q", ct)
+		}
+		var out []string
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 8<<20)
+		for sc.Scan() {
+			out = append(out, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := stream(single.URL)
+	got := stream(gw.URL)
+	if len(got) != lines {
+		t.Fatalf("stream answered %d lines for %d inputs", len(got), lines)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("single answered %d lines, gateway %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("stream line %d diverged:\n gw:     %s\n single: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGatewayPullOnMiss plants a profile on a replica that does not own it;
+// the first detect routed to the owner must repair placement (ship the
+// record over) and then score, transparently to the client.
+func TestGatewayPullOnMiss(t *testing.T) {
+	r1, r2 := newReplica(t), newReplica(t)
+	g, gw := newTestGateway(t, r1.URL, r2.URL)
+
+	const name = "test"
+	owner := g.fleet.Owner(name)
+	holder := r1.URL
+	if owner == r1.URL {
+		holder = r2.URL
+	}
+	trainDirect(t, holder, name)
+
+	req := mustMarshal(t, service.DetectRequest{Profile: name, Routes: genSets(1, false, 9000)[0]})
+	resp, blob := postRaw(t, gw.URL+"/v1/detect", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect after pull-on-miss: %d: %s", resp.StatusCode, blob)
+	}
+	var dr service.DetectResponse
+	if err := json.Unmarshal(blob, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if g.metrics.pulls.Value() != 1 {
+		t.Fatalf("pulls = %d, want 1", g.metrics.pulls.Value())
+	}
+	// The owner now holds the record, byte-identical to the holder's export.
+	ctx := context.Background()
+	ownerRec, err := g.client.do(ctx, http.MethodGet, owner+"/v1/profiles/"+name, "", nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ownerRec.Body.Close()
+	if ownerRec.StatusCode != http.StatusOK {
+		t.Fatalf("owner GET after repair: %d", ownerRec.StatusCode)
+	}
+
+	// A profile held nowhere still answers the canonical 404 body.
+	resp, blob = postRaw(t, gw.URL+"/v1/detect", mustMarshal(t, service.DetectRequest{Profile: "ghost", Routes: genSets(1, false, 9100)[0]}))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost detect: %d: %s", resp.StatusCode, blob)
+	}
+	var er service.ErrorResponse
+	if err := json.Unmarshal(blob, &er); err != nil || er.Error != `unknown profile: "ghost"` {
+		t.Fatalf("ghost body = %s", blob)
+	}
+}
+
+// TestGatewaySyncNow: anti-entropy ships misplaced profiles to their owners
+// without touching the source copies.
+func TestGatewaySyncNow(t *testing.T) {
+	r1, r2 := newReplica(t), newReplica(t)
+	g, _ := newTestGateway(t, r1.URL, r2.URL)
+
+	const name = "test"
+	owner := g.fleet.Owner(name)
+	holder := r1.URL
+	if owner == r1.URL {
+		holder = r2.URL
+	}
+	trainDirect(t, holder, name)
+
+	ctx := context.Background()
+	if shipped := g.SyncNow(ctx); shipped != 1 {
+		t.Fatalf("SyncNow shipped %d, want 1", shipped)
+	}
+	read := func(base string) []byte {
+		resp, err := g.client.do(ctx, http.MethodGet, base+"/v1/profiles/"+name, "", nil, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", base, resp.StatusCode, blob)
+		}
+		return blob
+	}
+	if want, got := read(holder), read(owner); !bytes.Equal(want, got) {
+		t.Fatalf("shipped record drifted:\n holder: %s\n owner:  %s", want, got)
+	}
+	if shipped := g.SyncNow(ctx); shipped != 0 {
+		t.Fatalf("second SyncNow shipped %d, want 0 (converged)", shipped)
+	}
+}
+
+// TestGatewayProfileCRUD covers the union listing, owner-ranked GET, and
+// broadcast DELETE.
+func TestGatewayProfileCRUD(t *testing.T) {
+	r1, r2 := newReplica(t), newReplica(t)
+	g, gw := newTestGateway(t, r1.URL, r2.URL)
+
+	trainDirect(t, r1.URL, "alpha")
+	trainDirect(t, r2.URL, "beta")
+
+	var infos []service.ProfileInfo
+	if err := g.client.getJSON(context.Background(), gw.URL+"/v1/profiles", &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("union listing = %+v", infos)
+	}
+
+	// GET finds the profile wherever it lives, even off-owner.
+	for _, name := range []string{"alpha", "beta"} {
+		resp, blob := getRaw(t, gw.URL+"/v1/profiles/"+name)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", name, resp.StatusCode, blob)
+		}
+	}
+
+	// DELETE reaches every copy; the profile is gone fleet-wide.
+	req, _ := http.NewRequest(http.MethodDelete, gw.URL+"/v1/profiles/alpha", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE alpha: %d", resp.StatusCode)
+	}
+	for _, base := range []string{r1.URL, r2.URL} {
+		resp, _ := getRaw(t, base+"/v1/profiles/alpha")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("alpha survives on %s: %d", base, resp.StatusCode)
+		}
+	}
+	// Deleting a profile nobody holds answers 404.
+	req, _ = http.NewRequest(http.MethodDelete, gw.URL+"/v1/profiles/alpha", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE alpha: %d, want 404", resp.StatusCode)
+	}
+}
+
+func getRaw(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	return resp, blob
+}
+
+// TestGatewayFailover: a dead replica in the membership is routed around
+// for reads, and health marks it down after the first dial failure.
+func TestGatewayFailover(t *testing.T) {
+	live := newReplica(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // port now refuses connections
+
+	g, gw := newTestGateway(t, live.URL, deadURL)
+	// Pick a profile the *dead* replica owns under pure placement, so the
+	// detect really hits the failover path.
+	name := ""
+	for i := 0; name == ""; i++ {
+		candidate := fmt.Sprintf("failover-%d", i)
+		if g.fleet.Ring().Owner(candidate) == deadURL {
+			name = candidate
+		}
+	}
+	trainDirect(t, live.URL, name)
+	// The boot health sweep already marked the dead replica down, so the
+	// live replica owns everything; force the optimistic state back to
+	// exercise the passive path.
+	g.fleet.mu.Lock()
+	g.fleet.states[deadURL].healthy = true
+	g.fleet.mu.Unlock()
+
+	req := mustMarshal(t, service.DetectRequest{Profile: name, Routes: genSets(1, false, 9200)[0]})
+	resp, blob := postRaw(t, gw.URL+"/v1/detect", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect with a dead owner: %d: %s", resp.StatusCode, blob)
+	}
+	if g.metrics.failovers.Value() == 0 {
+		t.Fatal("failover path not taken")
+	}
+	if g.fleet.Healthy(deadURL) {
+		t.Fatal("dead replica still marked healthy after dial failures")
+	}
+	if hc := g.fleet.HealthyCount(); hc != 1 {
+		t.Fatalf("healthy count = %d, want 1", hc)
+	}
+}
+
+// TestGatewayHealthz: 200 with replica counts while the fleet is routable,
+// 503 when nothing is.
+func TestGatewayHealthz(t *testing.T) {
+	live := newReplica(t)
+	g, gw := newTestGateway(t, live.URL)
+
+	resp, blob := getRaw(t, gw.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(blob, []byte(`"healthy":1`)) {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, blob)
+	}
+
+	g.fleet.MarkDown(live.URL, fmt.Errorf("forced down"))
+	resp, blob = getRaw(t, gw.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no healthy replicas = %d: %s", resp.StatusCode, blob)
+	}
+
+	// /v1/cluster exposes membership and placement.
+	resp, blob = getRaw(t, gw.URL+"/v1/cluster?profile=test")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(blob, []byte(`"owner"`)) {
+		t.Fatalf("cluster view = %d: %s", resp.StatusCode, blob)
+	}
+}
+
+// TestClientRetry429 pins the retry discipline: Retry-After honored within
+// the budget, the last 429 surfaced once attempts run out.
+func TestClientRetry429(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := &Client{sleep: func(d time.Duration) { slept = append(slept, d) }}
+	resp, err := c.do(context.Background(), http.MethodPost, ts.URL, "application/json", []byte(`{}`), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hits != 3 {
+		t.Fatalf("status %d after %d hits", resp.StatusCode, hits)
+	}
+	if len(slept) != 2 || slept[0] != time.Second {
+		t.Fatalf("slept %v, want two 1s waits", slept)
+	}
+
+	// Without opting in, the 429 passes straight through.
+	hits = 0
+	resp, err = c.do(context.Background(), http.MethodPost, ts.URL, "application/json", []byte(`{}`), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || hits != 1 {
+		t.Fatalf("passthrough: status %d after %d hits", resp.StatusCode, hits)
+	}
+}
+
+// TestNotDelivered: dial errors are recognized; an HTTP-level error is not.
+func TestNotDelivered(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+
+	c := &Client{}
+	_, err := c.do(context.Background(), http.MethodPost, url, "", nil, false)
+	if err == nil || !NotDelivered(err) {
+		t.Fatalf("dial error not recognized: %v", err)
+	}
+	if NotDelivered(io.ErrUnexpectedEOF) {
+		t.Fatal("mid-body error misread as not-delivered")
+	}
+}
+
+// TestProfileFieldExtraction pins the routing key scanner against its JSON
+// fallback.
+func TestProfileFieldExtraction(t *testing.T) {
+	cases := []struct{ body, want string }{
+		{`{"profile":"a","routes":[[1,2]]}`, "a"},
+		{`{ "profile" : "spaced" }`, "spaced"},
+		{`{"routes":[[1]],"profile":"late"}`, "late"},
+		{`{"profile":"with\"escape"}`, `with"escape`},        // fallback path
+		{`{"note":"\"profile\":","profile":"real"}`, "real"}, // decoy occurrence
+		{`{"profile":123}`, ""},                              // non-string
+		{`{"routes":[[1]]}`, ""},                             // absent
+		{`not json`, ""},                                     // garbage
+	}
+	for _, tc := range cases {
+		if got := profileField([]byte(tc.body)); got != tc.want {
+			t.Errorf("profileField(%s) = %q, want %q", tc.body, got, tc.want)
+		}
+	}
+}

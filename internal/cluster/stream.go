@@ -1,0 +1,237 @@
+package cluster
+
+// Gateway NDJSON scatter: POST /v1/detect/stream fans each input line out to
+// the replica owning the line's profile over a per-replica upstream stream
+// connection, then merges the answers back in global input order. The
+// replica contract (one response line per non-empty input line, in order)
+// makes the merge a queue: remember which upstream got line k, and read line
+// k's answer from that upstream's response when its turn comes. Replicas
+// flush whenever their input buffer drains, so a lockstep client still sees
+// every verdict immediately, while a pipelining client keeps every replica's
+// window full at once.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"samnet/internal/service"
+)
+
+const (
+	gwStreamFlushEvery  = 64
+	gwStreamIdleTimeout = 2 * time.Minute
+)
+
+// upstream is one replica's live stream connection. Only the handler
+// goroutine touches pw and err; only the merger goroutine reads br.
+type upstream struct {
+	addr string
+	pw   *io.PipeWriter
+	br   *bufio.Reader
+	resp *http.Response
+	err  error // open or write failure: later lines for this replica answer it
+}
+
+// streamSlot is one input line's reservation in the response order: either
+// "read the next line from this upstream" or a pre-rendered error line.
+type streamSlot struct {
+	u       *upstream
+	errLine []byte
+}
+
+func errorLine(msg string) []byte {
+	blob, _ := json.Marshal(service.ErrorResponse{Error: msg})
+	return append(blob, '\n')
+}
+
+func (g *Gateway) handleDetectStream(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	w.Header()["Content-Type"] = []string{"application/x-ndjson"}
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		g.metrics.respErrs.Inc()
+		return
+	}
+	extend := func() {
+		idle := time.Now().Add(gwStreamIdleTimeout)
+		_ = rc.SetReadDeadline(idle)
+		_ = rc.SetWriteDeadline(idle)
+	}
+	extend()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	ups := make(map[string]*upstream)
+	defer func() {
+		for _, u := range ups {
+			if u.resp != nil {
+				u.resp.Body.Close()
+			}
+		}
+	}()
+	order := make(chan streamSlot, 256)
+	done := make(chan struct{})
+	go g.mergeStream(w, rc, order, done, extend)
+
+	br := bufio.NewReaderSize(r.Body, 64<<10)
+	for {
+		line, tooLong, err := readLimitedLine(br, g.cfg.MaxBodyBytes)
+		if err != nil {
+			if err != io.EOF {
+				// The client connection failed mid-read: answer once, after
+				// every pending verdict, and end the stream.
+				order <- streamSlot{errLine: errorLine(fmt.Sprintf("request body: %v", err))}
+			}
+			break
+		}
+		if tooLong {
+			order <- streamSlot{errLine: errorLine(fmt.Sprintf(
+				"request body exceeds %d bytes", g.cfg.MaxBodyBytes))}
+			continue
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		// Unparseable lines get profile "" — still a deterministic rendezvous
+		// key, so some replica answers the canonical per-line error in order.
+		addr := g.fleet.Owner(profileField(line))
+		u := ups[addr]
+		if u == nil {
+			u = g.openUpstream(ctx, addr)
+			ups[addr] = u
+		}
+		if u.err == nil {
+			if _, werr := u.pw.Write(append(line, '\n')); werr != nil {
+				u.err = werr
+			}
+		}
+		if u.err != nil {
+			order <- streamSlot{errLine: errorLine(fmt.Sprintf("replica %s: %v", u.addr, u.err))}
+			continue
+		}
+		order <- streamSlot{u: u}
+	}
+	for _, u := range ups {
+		if u.pw != nil {
+			u.pw.Close()
+		}
+	}
+	close(order)
+	<-done
+}
+
+// openUpstream dials one replica's stream endpoint with a pipe body the
+// handler feeds line by line. The replica answers the 200 header before the
+// first verdict, so Do returns as soon as the connection is up.
+func (g *Gateway) openUpstream(ctx context.Context, addr string) *upstream {
+	u := &upstream{addr: addr}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/detect/stream", pr)
+	if err != nil {
+		u.err = err
+		return u
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := g.client.httpClient().Do(req)
+	if err != nil {
+		if NotDelivered(err) {
+			g.fleet.MarkDown(addr, err)
+		}
+		u.err = err
+		pw.Close()
+		return u
+	}
+	if resp.StatusCode != http.StatusOK {
+		u.err = statusError(resp)
+		resp.Body.Close()
+		pw.Close()
+		return u
+	}
+	u.pw, u.resp = pw, resp
+	u.br = bufio.NewReaderSize(resp.Body, 64<<10)
+	return u
+}
+
+// mergeStream emits response lines in input order, reading each slot's
+// answer from its upstream. An upstream that ends early answers an error
+// line for each of its remaining slots (its own tracking, not u.err — that
+// field belongs to the handler goroutine). A client write failure drains the
+// remaining slots without writing so the handler never blocks on the order
+// queue.
+func (g *Gateway) mergeStream(w http.ResponseWriter, rc *http.ResponseController, order <-chan streamSlot, done chan<- struct{}, extend func()) {
+	defer close(done)
+	dead := make(map[*upstream]error)
+	failed := false
+	pending := 0
+	for slot := range order {
+		line := slot.errLine
+		if slot.u != nil {
+			if derr, down := dead[slot.u]; down {
+				line = errorLine(fmt.Sprintf("replica %s: stream ended early: %v", slot.u.addr, derr))
+			} else {
+				resp, err := slot.u.br.ReadBytes('\n')
+				switch {
+				case err == nil:
+					line = resp
+				case len(bytes.TrimSpace(resp)) > 0:
+					line = append(resp, '\n')
+				default:
+					dead[slot.u] = err
+					line = errorLine(fmt.Sprintf("replica %s: stream ended early: %v", slot.u.addr, err))
+				}
+			}
+		}
+		if failed {
+			continue
+		}
+		if _, err := w.Write(line); err != nil {
+			g.metrics.respErrs.Inc()
+			failed = true
+			continue
+		}
+		pending++
+		if pending >= gwStreamFlushEvery || len(order) == 0 {
+			if err := rc.Flush(); err != nil {
+				g.metrics.respErrs.Inc()
+				failed = true
+				continue
+			}
+			pending = 0
+			extend()
+		}
+	}
+}
+
+// readLimitedLine reads one newline-delimited line, reporting (but not
+// buffering) lines over limit so the stream stays aligned, and treating a
+// trailing unterminated line as a line.
+func readLimitedLine(br *bufio.Reader, limit int64) (line []byte, tooLong bool, err error) {
+	for {
+		frag, rerr := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, frag...)
+			if int64(len(line)) > limit+1 { // +1: the newline itself
+				tooLong, line = true, nil
+			}
+		}
+		if rerr == bufio.ErrBufferFull {
+			continue
+		}
+		if rerr != nil {
+			if len(bytes.TrimSpace(line)) > 0 || tooLong {
+				return line, tooLong, nil
+			}
+			return nil, false, rerr
+		}
+		return line, tooLong, nil
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+)
+
+// TestHealthzReadiness pins the enriched /healthz body: a gateway gates
+// traffic on these fields, so their presence and semantics are contract.
+func TestHealthzReadiness(t *testing.T) {
+	ts, svc := newTrainedServer(t, Config{})
+
+	get := func() HealthzResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %s", resp.Status)
+		}
+		var h HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := get()
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.Profiles != 1 {
+		t.Fatalf("profiles = %d, want 1 (trained profile resident)", h.Profiles)
+	}
+	if h.QueueDepth != 0 {
+		t.Fatalf("queue_depth = %d, want 0 at idle", h.QueueDepth)
+	}
+	if h.SnapshotAgeS != -1 {
+		t.Fatalf("snapshot_age_s = %v, want -1 before any snapshot", h.SnapshotAgeS)
+	}
+
+	if _, err := svc.SaveSnapshot(filepath.Join(t.TempDir(), "state.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	if h = get(); h.SnapshotAgeS < 0 {
+		t.Fatalf("snapshot_age_s = %v after a snapshot, want >= 0", h.SnapshotAgeS)
+	}
+}
+
+// TestPutProfileRoundTrip ships a snapshot record between two services the
+// way the cluster sync does — GET from the holder, PUT to the owner — and
+// requires the destination's export to be byte-identical to the source's.
+func TestPutProfileRoundTrip(t *testing.T) {
+	src, _ := newTrainedServer(t, Config{})
+
+	// Drift the adaptive means so the record carries real filter state.
+	set := genSets(1, false, 9000)[0]
+	if resp, _ := postJSON(t, src.URL+"/v1/detect", mustJSON(t, DetectRequest{Profile: "test", Routes: set})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect: %d", resp.StatusCode)
+	}
+
+	record := getBody(t, src.URL+"/v1/profiles/test")
+
+	dstSvc := New(Config{})
+	defer dstSvc.Close()
+	dst := newTestServer(t, dstSvc)
+
+	resp := putJSON(t, dst.URL+"/v1/profiles/test", record)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: %d", resp.StatusCode)
+	}
+	if got := getBody(t, dst.URL+"/v1/profiles/test"); !bytes.Equal(got, record) {
+		t.Fatalf("shipped record drifted:\n src: %s\n dst: %s", record, got)
+	}
+
+	// The shipped profile must also score: the record is complete state.
+	if resp, body := postJSON(t, dst.URL+"/v1/detect", mustJSON(t, DetectRequest{Profile: "test", Routes: set})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect on shipped profile: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPutProfileRejections pins the PUT validation contract.
+func TestPutProfileRejections(t *testing.T) {
+	src, _ := newTrainedServer(t, Config{})
+	record := getBody(t, src.URL+"/v1/profiles/test")
+
+	dstSvc := New(Config{})
+	defer dstSvc.Close()
+	dst := newTestServer(t, dstSvc)
+
+	// A record naming a different profile than the path is refused.
+	if resp := putJSON(t, dst.URL+"/v1/profiles/other", record); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("name-mismatch PUT: %d, want 400", resp.StatusCode)
+	}
+	// A record with no profile document is refused.
+	if resp := putJSON(t, dst.URL+"/v1/profiles/test", []byte(`{"name":"test","runs":3}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("profile-less PUT: %d, want 400", resp.StatusCode)
+	}
+	// Garbage is refused.
+	if resp := putJSON(t, dst.URL+"/v1/profiles/test", []byte(`{`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT: %d, want 400", resp.StatusCode)
+	}
+	if dstSvc.store.count() != 0 {
+		t.Fatalf("rejected PUTs left %d profiles resident", dstSvc.store.count())
+	}
+}
+
+func newTestServer(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func putJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp
+}

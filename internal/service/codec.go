@@ -268,10 +268,32 @@ type ProfileResponse struct {
 	Profile  *sam.Profile `json:"profile"`
 }
 
+// PutProfileResponse answers PUT /v1/profiles/{name}: the snapshot record
+// (a ProfileResponse body, i.e. exactly what GET /v1/profiles/{name} exports)
+// was installed under the path's name. This is the cluster sync primitive:
+// shipping a record between replicas is a GET from the holder and a PUT to
+// the owner.
+type PutProfileResponse struct {
+	Profile  string `json:"profile"`
+	Runs     int    `json:"runs"`
+	Restored bool   `json:"restored"`
+}
+
 // DeleteProfileResponse answers DELETE /v1/profiles/{name}.
 type DeleteProfileResponse struct {
 	Profile string `json:"profile"`
 	Deleted bool   `json:"deleted"`
+}
+
+// HealthzResponse answers GET /healthz: liveness plus the readiness signals a
+// cluster gateway (or ops) gates traffic on. SnapshotAgeS is seconds since
+// the last successful durable snapshot, -1 when none has been written (no
+// -snapshot configured, or none completed yet).
+type HealthzResponse struct {
+	Status       string  `json:"status"`
+	Profiles     int     `json:"profiles"`
+	QueueDepth   int     `json:"queue_depth"`
+	SnapshotAgeS float64 `json:"snapshot_age_s"`
 }
 
 // DecisionsResponse answers GET /debug/decisions: the retained decision

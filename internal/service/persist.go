@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Snapshot persistence: the profile lifecycle's durability layer. A snapshot
@@ -116,6 +117,7 @@ func (s *Service) SaveSnapshot(path string) (n int, err error) {
 			s.metrics.snapshotErrs.Inc()
 		} else {
 			s.metrics.snapshots.Inc()
+			s.lastSnapshot.Store(time.Now().UnixNano())
 		}
 	}()
 	bw := bufio.NewWriter(f)

@@ -138,6 +138,10 @@ type Service struct {
 	// trainBusy is the batch-training single-flight gate: one server-side
 	// sweep at a time, later requests answer 429 instead of queueing sweeps.
 	trainBusy atomic.Bool
+	// lastSnapshot is the wall clock (unix nanos) of the last successful
+	// SaveSnapshot, 0 when none has completed; /healthz reports its age so a
+	// gateway can spot replicas whose durability loop has stalled.
+	lastSnapshot atomic.Int64
 	// sweepStop/sweepDone manage the eviction sweeper goroutine, started
 	// only when a TTL or residency cap is configured.
 	sweepStop chan struct{}
@@ -187,6 +191,7 @@ func New(cfg Config) *Service {
 	mux.HandleFunc("DELETE /v1/isolation/{a}/{b}", s.wrap("isolation_lift", s.handleIsolationLift))
 	mux.HandleFunc("GET /v1/profiles", s.wrap("profiles", s.handleListProfiles))
 	mux.HandleFunc("GET /v1/profiles/{name}", s.wrap("profile_get", s.handleGetProfile))
+	mux.HandleFunc("PUT /v1/profiles/{name}", s.wrap("profile_put", s.handlePutProfile))
 	mux.HandleFunc("DELETE /v1/profiles/{name}", s.wrap("profile_delete", s.handleDeleteProfile))
 	mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 	mux.Handle("GET /metrics", cfg.Registry.Handler())
@@ -655,6 +660,30 @@ func (s *Service) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePutProfile installs a snapshot record under the path's name: the body
+// is a ProfileResponse — exactly what GET /v1/profiles/{name} exports — so a
+// profile travels between replicas without re-training, adaptive means
+// included. A record naming a different profile than the path is refused
+// rather than silently renamed.
+func (s *Service) handlePutProfile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var rec ProfileResponse
+	if err := decodeJSON(r, &rec); err != nil {
+		s.writeError(w, decodeStatus(err), "%v", err)
+		return
+	}
+	if rec.Name != "" && rec.Name != name {
+		s.writeError(w, http.StatusBadRequest,
+			"record names profile %q but the path names %q", rec.Name, name)
+		return
+	}
+	if err := s.RestoreProfile(name, rec.Profile, rec.PMaxMean, rec.PhiMean); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, PutProfileResponse{Profile: name, Runs: rec.Runs, Restored: true})
+}
+
 func (s *Service) handleDeleteProfile(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.store.remove(name) {
@@ -674,6 +703,22 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Healthz reports the readiness signals /healthz serves: resident profile
+// count, worker-pool queue depth, and the age of the last durable snapshot
+// (-1 when none has been written).
+func (s *Service) Healthz() HealthzResponse {
+	age := -1.0
+	if at := s.lastSnapshot.Load(); at > 0 {
+		age = time.Since(time.Unix(0, at)).Seconds()
+	}
+	return HealthzResponse{
+		Status:       "ok",
+		Profiles:     s.store.count(),
+		QueueDepth:   int(s.pool.depth()),
+		SnapshotAgeS: age,
+	}
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, s.Healthz())
 }

@@ -94,6 +94,23 @@ func resolveScenarios(in []TrainScenarioJSON) ([]trainScenario, error) {
 	return out, nil
 }
 
+// ScenarioProfiles resolves the effective profile name of each scenario —
+// the explicit Profile field or the defaulted flattened label — using exactly
+// the validation /v1/train/batch applies. A cluster gateway uses it to place
+// scenarios on owning replicas; sharing the resolver means gateway placement
+// and replica training can never disagree about a grid's profile names.
+func ScenarioProfiles(in []TrainScenarioJSON) ([]string, error) {
+	scs, err := resolveScenarios(in)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.profile
+	}
+	return names, nil
+}
+
 // trainCell runs one clean route discovery for grid cell (scenario, run).
 // All three random streams — topology placement, source/destination pair,
 // simulation jitter — derive from the scenario label and run index alone.

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# fleetbench.sh — samserve fleet scaling curve.
+#
+# For each replica count given as an argument (default: 1 2 4), boots that
+# many samserve replicas plus a samgate in front, drives the identical
+# samload workload through the gateway, and writes a BENCH_PR8.json-style
+# document to stdout (per-run samload summaries, host CPU count, and the
+# gateway's scatter/sync counters). Progress and the human-readable samload
+# reports go to stderr.
+#
+# Workload knobs come from the environment:
+#
+#   DURATION=5s CLIENTS=32 PROFILES=8 BATCH=1 scripts/fleetbench.sh 1 2 4
+#
+# PROFILES stays fixed across replica counts so every run scores the same
+# corpus; placement spreads the shards over however many replicas exist.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNTS=("$@")
+[ ${#COUNTS[@]} -eq 0 ] && COUNTS=(1 2 4)
+DURATION=${DURATION:-5s}
+CLIENTS=${CLIENTS:-32}
+PROFILES=${PROFILES:-8}
+BATCH=${BATCH:-1}
+PORT_BASE=${PORT_BASE:-19080}
+GW_PORT=${GW_PORT:-19070}
+
+BIN=$(mktemp -d)
+PIDS=()
+cleanup() {
+  [ ${#PIDS[@]} -gt 0 ] && kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/samserve" ./cmd/samserve
+go build -o "$BIN/samgate" ./cmd/samgate
+go build -o "$BIN/samload" ./cmd/samload
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "fleetbench: $1 never became healthy" >&2
+  return 1
+}
+
+RUNS=""
+for n in "${COUNTS[@]}"; do
+  echo "== $n replica(s) ==" >&2
+  PIDS=()
+  replicas=""
+  for i in $(seq 0 $((n - 1))); do
+    port=$((PORT_BASE + i))
+    "$BIN/samserve" -addr "127.0.0.1:$port" -log-format json >/dev/null 2>&1 &
+    PIDS+=($!)
+    replicas="$replicas${replicas:+,}http://127.0.0.1:$port"
+  done
+  for i in $(seq 0 $((n - 1))); do
+    wait_healthy "http://127.0.0.1:$((PORT_BASE + i))"
+  done
+  "$BIN/samgate" -addr "127.0.0.1:$GW_PORT" -replicas "$replicas" \
+    -log-format json >/dev/null 2>&1 &
+  PIDS+=($!)
+  wait_healthy "http://127.0.0.1:$GW_PORT"
+
+  # One scatter-gathered training sweep per fleet size: four scenario
+  # profiles spread over the replicas, merged in grid order by the gateway.
+  curl -sf -X POST "127.0.0.1:$GW_PORT/v1/train/batch" -d '{"runs":6,"scenarios":[
+    {"topo":"cluster"},{"topo":"cluster","tier":2},
+    {"topo":"uniform6x6","protocol":"smr"},{"topo":"uniform6x6","tier":2,"protocol":"smr"}]}' >/dev/null
+
+  out=$("$BIN/samload" -addr "http://127.0.0.1:$GW_PORT" -duration "$DURATION" \
+    -clients "$CLIENTS" -profiles "$PROFILES" -batch "$BATCH" 2>/dev/null)
+  printf '%s\n' "$out" | sed 's/^/    /' >&2
+  summary=$(printf '%s\n' "$out" | grep '^{' | tail -n 1)
+  [ -n "$summary" ] || { echo "fleetbench: no samload summary for n=$n" >&2; exit 1; }
+  scatters=$(curl -sf "127.0.0.1:$GW_PORT/metrics" |
+    awk '/^samgate_train_scatters_total/ {print $2}')
+  RUNS="$RUNS${RUNS:+,
+    }{\"replicas\": $n, \"train_scatters\": ${scatters:-0}, \"samload\": $summary}"
+
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait "${PIDS[@]}" 2>/dev/null || true
+  PIDS=()
+done
+
+cat <<EOF
+{
+  "pr": 8,
+  "date": "$(date -u +%F)",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "workload": {"mode": "detect via samgate", "duration": "$DURATION", "clients": $CLIENTS, "profiles": $PROFILES, "batch": $BATCH},
+  "note": "Same samload workload driven through samgate at each fleet size; profile shards spread over the replicas by rendezvous placement. Replicas, gateway, and the load generator share this host's cores, so req_per_s scales with replica count only when cpus comfortably exceeds the fleet size; on a 1-CPU host the curve measures fleet overhead (extra hop + time-slicing), not speedup.",
+  "runs": [
+    $RUNS
+  ]
+}
+EOF
