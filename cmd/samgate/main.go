@@ -13,10 +13,19 @@
 //
 //	samgate -replicas http://h1:8080,http://h2:8080 [-addr :8070]
 //	        [-health-interval 2s] [-sync-interval 0] [-no-pull-on-miss]
-//	        [-max-body 0] [-retries 4] [-log-format text|json]
+//	        [-max-body 0] [-retries 4] [-traces N] [-trace-slow 250ms]
+//	        [-log-requests N] [-debug-addr :6070] [-log-format text|json]
 //
 // -sync-interval 0 disables anti-entropy (pull-on-miss still repairs lazily);
 // -no-pull-on-miss leaves misses as the owner's 404.
+//
+// -traces sizes the span ring behind /debug/traces (negative disables
+// tracing); a traced gateway starts a span per request and propagates the
+// W3C traceparent to the owning replica, so one trace id follows a request
+// across the fleet. -debug-addr opens a second listener with pprof, the
+// gateway registry under /metrics, the federated fleet scrape under
+// /metrics/fleet, and recent spans under /debug/traces. -log-requests
+// samples 1-in-N requests to the access log.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +43,7 @@ import (
 
 	"samnet/internal/cli"
 	"samnet/internal/cluster"
+	"samnet/internal/obs"
 )
 
 func main() {
@@ -44,6 +55,10 @@ func main() {
 		noPullOnMiss   = flag.Bool("no-pull-on-miss", false, "do not repair owner 404s by pulling the profile from another replica")
 		maxBody        = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
 		retries        = flag.Int("retries", 0, "attempts per scatter sub-request on 429 (0 = default 4)")
+		traces         = flag.Int("traces", 256, "span ring size behind /debug/traces (negative disables tracing)")
+		traceSlow      = flag.Duration("trace-slow", 250*time.Millisecond, "retain spans at or over this duration in the slow ring (0 disables slow capture)")
+		logRequests    = flag.Int("log-requests", 0, "log 1-in-N requests with method/path/status/duration/trace id (0 = off)")
+		debugAddr      = flag.String("debug-addr", "", "debug listener for pprof, metrics, fleet federation and traces (empty = disabled)")
 		logFormat      = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
@@ -65,6 +80,17 @@ func main() {
 	if hi <= 0 {
 		hi = -1
 	}
+	// Tracing follows samserve's -decisions convention: 0 means the default
+	// ring, negative disables. Disabled tracing costs the proxy path nothing.
+	var tracer *obs.Tracer
+	if *traces >= 0 {
+		size := *traces
+		if size == 0 {
+			size = 256
+		}
+		tracer = obs.NewTracer(size, *traceSlow)
+	}
+
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
 		Replicas:          addrs,
 		MaxAttempts:       *retries,
@@ -72,6 +98,7 @@ func main() {
 		SyncInterval:      *syncInterval,
 		DisablePullOnMiss: *noPullOnMiss,
 		MaxBodyBytes:      *maxBody,
+		Tracer:            tracer,
 		Logger:            logger,
 	})
 	if err != nil {
@@ -88,11 +115,12 @@ func main() {
 	logger.Info("starting",
 		"addr", *addr, "replicas", len(addrs), "healthy", healthy,
 		"health_interval", *healthInterval, "sync_interval", *syncInterval,
-		"pull_on_miss", !*noPullOnMiss)
+		"pull_on_miss", !*noPullOnMiss,
+		"traces", *traces, "trace_slow", *traceSlow, "log_requests", *logRequests)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gw.Handler(),
+		Handler:           obs.AccessLog(logger, *logRequests, gw.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// Scatter-gathered training sweeps and streams run long; the stream
@@ -104,6 +132,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(gw),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr,
+			"endpoints", "/debug/pprof/ /debug/traces /metrics /metrics/fleet")
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -121,6 +168,25 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("shutdown incomplete", "err", err)
 	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	gw.Close()
 	logger.Info("stopped")
+}
+
+// debugMux assembles the gateway's introspection listener: pprof's full
+// suite, plus the gateway mux's own metrics, fleet federation and trace
+// endpoints — reused so both listeners serve the identical representation.
+func debugMux(gw *cluster.Gateway) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", gw.Handler())
+	mux.Handle("GET /metrics/fleet", gw.Handler())
+	mux.Handle("GET /debug/traces", gw.Handler())
+	return mux
 }

@@ -440,7 +440,17 @@ type result struct {
 	scored               int64          // route sets scored (ok requests * batch items)
 	truePos, falsePos    int64
 	attackSeen, normSeen int64
+	slowest              time.Duration   // slowest ok request
+	slowestTrace         string          // its trace id, for /debug/traces lookup
 	perReplica           []*replicaStats // one per fleet base in -addrs mode
+}
+
+// noteSlowest records a completed ok request if it is the slowest so far.
+// Callers hold the result merge lock.
+func (r *result) noteSlowest(took time.Duration, trace string) {
+	if took > r.slowest {
+		r.slowest, r.slowestTrace = took, trace
+	}
 }
 
 // replicaStats is one replica's share of a fleet run.
@@ -450,6 +460,16 @@ type replicaStats struct {
 	truePos, falsePos    int64
 	attackSeen, normSeen int64
 	latency              *obs.Histogram
+}
+
+// quantile estimates this replica's q-quantile in seconds, clamped to the
+// replica's observed maximum like the aggregate quantile.
+func (st *replicaStats) quantile(q float64) float64 {
+	v := st.latency.Quantile(q)
+	if m := st.latency.Max(); v > m {
+		v = m
+	}
+	return v
 }
 
 // run drives the corpus with the given concurrency until the request budget
@@ -483,6 +503,8 @@ func run(client *http.Client, fl *fleet, items []corpusItem, clients, requests i
 		go func() {
 			defer wg.Done()
 			local := make([]replicaStats, len(fl.bases))
+			var slowest time.Duration
+			var slowestTrace string
 			for {
 				idx := next.Add(1) - 1
 				if budget > 0 {
@@ -494,8 +516,9 @@ func run(client *http.Client, fl *fleet, items []corpusItem, clients, requests i
 				}
 				item := items[idx%int64(len(items))]
 				st := &local[item.target]
+				tp := newTraceparent()
 				begin := time.Now()
-				decisions, status, err := post(client, endpoints[item.target], item.payload, batch)
+				decisions, status, err := post(client, endpoints[item.target], tp, item.payload, batch)
 				took := time.Since(begin)
 				switch {
 				case err != nil:
@@ -509,6 +532,9 @@ func run(client *http.Client, fl *fleet, items []corpusItem, clients, requests i
 					continue
 				}
 				st.ok++
+				if took > slowest {
+					slowest, slowestTrace = took, traceHex(tp)
+				}
 				res.latency.ObserveDuration(took)
 				res.perReplica[item.target].latency.ObserveDuration(took)
 				for i, dec := range decisions {
@@ -531,6 +557,7 @@ func run(client *http.Client, fl *fleet, items []corpusItem, clients, requests i
 				}
 			}
 			mu.Lock()
+			res.noteSlowest(slowest, slowestTrace)
 			for i := range local {
 				dst, src := res.perReplica[i], &local[i]
 				dst.ok += src.ok
@@ -608,15 +635,16 @@ func runStream(client *http.Client, base string, items []corpusItem, clients, re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ok, errs, scored, tp, fp, atk, nrm := streamClient(client, endpoint, items, &next, budget, deadline, res.latency)
+			st := streamClient(client, endpoint, items, &next, budget, deadline, res.latency)
 			mu.Lock()
-			res.ok += ok
-			res.errors += errs
-			res.scored += scored
-			res.truePos += tp
-			res.falsePos += fp
-			res.attackSeen += atk
-			res.normSeen += nrm
+			res.ok += st.ok
+			res.errors += st.errs
+			res.scored += st.scored
+			res.truePos += st.tp
+			res.falsePos += st.fp
+			res.attackSeen += st.atk
+			res.normSeen += st.nrm
+			res.noteSlowest(st.slowest, st.slowestTrace)
 			mu.Unlock()
 		}()
 	}
@@ -625,8 +653,18 @@ func runStream(client *http.Client, base string, items []corpusItem, clients, re
 	return res
 }
 
-// streamClient runs one connection's writer/reader pair to completion.
-func streamClient(client *http.Client, endpoint string, items []corpusItem, next *atomic.Int64, budget int64, deadline time.Time, latency *obs.Histogram) (ok, errs, scored, tp, fp, atk, nrm int64) {
+// streamStats is one stream connection's tally.
+type streamStats struct {
+	ok, errs, scored, tp, fp, atk, nrm int64
+	slowest                            time.Duration
+	slowestTrace                       string
+}
+
+// streamClient runs one connection's writer/reader pair to completion. The
+// connection carries one traceparent: line latency is pipeline latency, so
+// the useful trace unit is the connection's stream span, not a per-line id.
+func streamClient(client *http.Client, endpoint string, items []corpusItem, next *atomic.Int64, budget int64, deadline time.Time, latency *obs.Histogram) (st streamStats) {
+	connTP := newTraceparent()
 	pr, pw := io.Pipe()
 	window := make(chan inflight, streamWindow)
 
@@ -669,22 +707,25 @@ func streamClient(client *http.Client, endpoint string, items []corpusItem, next
 		fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Traceparent", connTP)
 	resp, err := client.Do(req)
 	if err != nil {
 		pr.CloseWithError(err) // unblocks the writer
 		for range window {
-			errs++
+			st.errs++
 		}
-		return ok, errs + 1, scored, tp, fp, atk, nrm
+		st.errs++
+		return st
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		pr.CloseWithError(fmt.Errorf("stream status %s", resp.Status))
 		for range window {
-			errs++
+			st.errs++
 		}
-		return ok, errs + 1, scored, tp, fp, atk, nrm
+		st.errs++
+		return st
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -699,40 +740,44 @@ func streamClient(client *http.Client, endpoint string, items []corpusItem, next
 			// More response lines than requests: a stream-level error line
 			// appended after the last answer, or a protocol bug. Count it
 			// and stop matching.
-			errs++
+			st.errs++
 			break
 		}
 		decision, lineErr := streamDecision(line)
 		if lineErr != nil {
-			errs++
+			st.errs++
 			continue
 		}
-		ok++
-		latency.ObserveDuration(time.Since(sent.begin))
-		scored++
+		st.ok++
+		took := time.Since(sent.begin)
+		if took > st.slowest {
+			st.slowest, st.slowestTrace = took, traceHex(connTP)
+		}
+		latency.ObserveDuration(took)
+		st.scored++
 		positive := decision != "normal"
 		if sent.attack {
-			atk++
+			st.atk++
 			if positive {
-				tp++
+				st.tp++
 			}
 		} else {
-			nrm++
+			st.nrm++
 			if positive {
-				fp++
+				st.fp++
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		errs++
+		st.errs++
 	}
 	// The response is over; make sure the writer can't stay blocked on the
 	// pipe, then count requests the server never answered.
 	pr.CloseWithError(fmt.Errorf("response stream ended"))
 	for range window {
-		errs++
+		st.errs++
 	}
-	return ok, errs, scored, tp, fp, atk, nrm
+	return st
 }
 
 // decisionMark is the response-line prefix of the decision value. Scanning
@@ -775,9 +820,27 @@ func streamDecision(line []byte) (string, error) {
 	return lr.Verdict.Decision, nil
 }
 
+// newTraceparent mints one client-rooted W3C traceparent. Every load request
+// carries its own, so a slow request seen in the report can be looked up by
+// trace id in the server's /debug/traces ring.
+func newTraceparent() string {
+	return obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID())
+}
+
+// traceHex extracts the 32-hex trace id from a traceparent header value.
+func traceHex(tp string) string { return tp[3:35] }
+
 // post issues one request and extracts the verdict decisions.
-func post(client *http.Client, endpoint string, payload []byte, batch int) ([]string, int, error) {
-	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(payload))
+func post(client *http.Client, endpoint, traceparent string, payload []byte, batch int) ([]string, int, error) {
+	req, err := http.NewRequest("POST", endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("Traceparent", traceparent)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -831,6 +894,10 @@ func (r *result) report(w io.Writer, fl *fleet) {
 			r.quantileDur(0.50).Round(time.Microsecond), r.quantileDur(0.95).Round(time.Microsecond),
 			r.quantileDur(0.99).Round(time.Microsecond), max.Round(time.Microsecond))
 	}
+	if r.slowestTrace != "" {
+		fmt.Fprintf(w, "slowest:        %s (trace %s — look it up under /debug/traces?trace=%s)\n",
+			r.slowest.Round(time.Microsecond), r.slowestTrace, r.slowestTrace)
+	}
 	if r.attackSeen > 0 {
 		fmt.Fprintf(w, "detection rate: %.3f (%d/%d wormhole route sets flagged)\n",
 			float64(r.truePos)/float64(r.attackSeen), r.truePos, r.attackSeen)
@@ -844,10 +911,12 @@ func (r *result) report(w io.Writer, fl *fleet) {
 			line := fmt.Sprintf("replica %-28s %d ok, %d rejected, %d errors, %.0f req/s",
 				fl.bases[i]+":", st.ok, st.rejected, st.errors, float64(st.ok)/r.elapsed.Seconds())
 			if st.latency.Count() > 0 {
-				p50 := time.Duration(st.latency.Quantile(0.50) * float64(time.Second))
-				p95 := time.Duration(st.latency.Quantile(0.95) * float64(time.Second))
-				line += fmt.Sprintf(", p50 %s, p95 %s",
-					p50.Round(time.Microsecond), p95.Round(time.Microsecond))
+				p50 := time.Duration(st.quantile(0.50) * float64(time.Second))
+				p95 := time.Duration(st.quantile(0.95) * float64(time.Second))
+				p99 := time.Duration(st.quantile(0.99) * float64(time.Second))
+				line += fmt.Sprintf(", p50 %s, p95 %s, p99 %s",
+					p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+					p99.Round(time.Microsecond))
 			}
 			if st.attackSeen > 0 {
 				line += fmt.Sprintf(", detection %.3f", float64(st.truePos)/float64(st.attackSeen))
@@ -873,6 +942,10 @@ type summary struct {
 	MaxS          float64 `json:"max_s"`
 	DetectionRate float64 `json:"detection_rate"`
 	FalsePosRate  float64 `json:"false_positive_rate"`
+	// SlowestS/SlowestTraceID identify the slowest ok request for follow-up
+	// against the server's /debug/traces ring.
+	SlowestS       float64 `json:"slowest_s,omitempty"`
+	SlowestTraceID string  `json:"slowest_trace_id,omitempty"`
 	// Replicas breaks the run down per replica in -addrs fleet mode.
 	Replicas []replicaSummary `json:"replicas,omitempty"`
 }
@@ -886,6 +959,7 @@ type replicaSummary struct {
 	RequestsPerS  float64 `json:"req_per_s"`
 	P50S          float64 `json:"p50_s"`
 	P95S          float64 `json:"p95_s"`
+	P99S          float64 `json:"p99_s"`
 	DetectionRate float64 `json:"detection_rate"`
 }
 
@@ -909,8 +983,9 @@ func (r *result) summaryJSON(w io.Writer, mode string, fl *fleet) {
 				rs.RequestsPerS = float64(st.ok) / r.elapsed.Seconds()
 			}
 			if st.latency.Count() > 0 {
-				rs.P50S = st.latency.Quantile(0.50)
-				rs.P95S = st.latency.Quantile(0.95)
+				rs.P50S = st.quantile(0.50)
+				rs.P95S = st.quantile(0.95)
+				rs.P99S = st.quantile(0.99)
 			}
 			if st.attackSeen > 0 {
 				rs.DetectionRate = float64(st.truePos) / float64(st.attackSeen)
@@ -927,6 +1002,10 @@ func (r *result) summaryJSON(w io.Writer, mode string, fl *fleet) {
 		s.P95S = r.quantile(0.95)
 		s.P99S = r.quantile(0.99)
 		s.MaxS = r.latency.Max()
+	}
+	if r.slowestTrace != "" {
+		s.SlowestS = r.slowest.Seconds()
+		s.SlowestTraceID = r.slowestTrace
 	}
 	if r.attackSeen > 0 {
 		s.DetectionRate = float64(r.truePos) / float64(r.attackSeen)

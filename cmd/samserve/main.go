@@ -11,7 +11,8 @@
 // Usage:
 //
 //	samserve [-addr :8080] [-workers N] [-queue N] [-shards N]
-//	         [-decisions N] [-debug-addr :6060] [-log-format text|json]
+//	         [-decisions N] [-traces N] [-trace-slow 250ms] [-log-requests N]
+//	         [-debug-addr :6060] [-log-format text|json]
 //	         [-profile name=file.json]...
 //	         [-snapshot state.jsonl] [-snapshot-interval 1m]
 //	         [-profile-ttl 0] [-max-profiles 0]
@@ -30,9 +31,15 @@
 // samserve_profile_evictions_total metric by reason.
 //
 // -debug-addr opens a second listener for runtime introspection: net/http/
-// pprof under /debug/pprof/, the metrics registry under /metrics, and recent
-// decision records under /debug/decisions — kept off the service port so the
-// scoring API can face untrusted clients while introspection stays internal.
+// pprof under /debug/pprof/, the metrics registry under /metrics, recent
+// decision records under /debug/decisions, and recent spans under
+// /debug/traces — kept off the service port so the scoring API can face
+// untrusted clients while introspection stays internal.
+//
+// -traces sizes the span ring behind /debug/traces (negative disables
+// tracing entirely); -trace-slow retains spans at or over the threshold in a
+// dedicated slow ring; -log-requests samples 1-in-N requests to the access
+// log with the request's trace id.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"time"
 
 	"samnet/internal/cli"
+	"samnet/internal/obs"
 	"samnet/internal/sam"
 	"samnet/internal/service"
 )
@@ -79,6 +87,9 @@ func main() {
 		shards       = flag.Int("shards", 0, "profile store shards (0 = default)")
 		maxBody      = flag.Int64("max-body", 0, "request body limit in bytes (0 = default 8MiB)")
 		decisions    = flag.Int("decisions", 0, "decision record buffer (0 = default 256, negative disables capture)")
+		traces       = flag.Int("traces", 256, "span ring size behind /debug/traces (negative disables tracing)")
+		traceSlow    = flag.Duration("trace-slow", 250*time.Millisecond, "retain spans at or over this duration in the slow ring (0 disables slow capture)")
+		logRequests  = flag.Int("log-requests", 0, "log 1-in-N requests with method/path/status/duration/trace id (0 = off)")
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		snapshot     = flag.String("snapshot", "", "profile snapshot file: restored on boot, rewritten periodically and on shutdown (empty = no persistence)")
 		snapInterval = flag.Duration("snapshot-interval", time.Minute, "interval between periodic snapshot writes")
@@ -95,12 +106,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Tracing follows the -decisions convention: 0 means the default ring,
+	// negative disables. Disabled tracing costs the detect hot path nothing.
+	var tracer *obs.Tracer
+	if *traces >= 0 {
+		size := *traces
+		if size == 0 {
+			size = 256
+		}
+		tracer = obs.NewTracer(size, *traceSlow)
+	}
+
 	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Shards:         *shards,
 		MaxBodyBytes:   *maxBody,
 		DecisionBuffer: *decisions,
+		Tracer:         tracer,
 		ProfileTTL:     *profileTTL,
 		MaxProfiles:    *maxProfiles,
 		Logger:         logger,
@@ -142,7 +165,7 @@ func main() {
 		logger.Info("profile loaded", "name", p.name, "path", p.path, "runs", prof.Runs)
 	}
 
-	srv := newServer(*addr, svc.Handler(), defaultTimeouts)
+	srv := newServer(*addr, obs.AccessLog(logger, *logRequests, svc.Handler()), defaultTimeouts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -156,13 +179,14 @@ func main() {
 			}
 		}()
 		logger.Info("debug listener up", "addr", *debugAddr,
-			"endpoints", "/debug/pprof/ /debug/decisions /metrics")
+			"endpoints", "/debug/pprof/ /debug/decisions /debug/traces /metrics")
 	}
 
 	logger.Info("starting",
 		"addr", *addr,
 		"workers", *workers, "queue", *queue, "shards", *shards,
 		"max_body", *maxBody, "decisions", *decisions,
+		"traces", *traces, "trace_slow", *traceSlow, "log_requests", *logRequests,
 		"profiles", len(profiles),
 		"snapshot", *snapshot, "profile_ttl", *profileTTL, "max_profiles", *maxProfiles)
 
@@ -267,9 +291,10 @@ func debugMux(svc *service.Service) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("GET /metrics", svc.Registry().Handler())
-	// The service mux already routes decision records; reuse it so both
-	// listeners serve the identical representation.
+	// The service mux already routes decision records and traces; reuse it so
+	// both listeners serve the identical representation.
 	mux.Handle("GET /debug/decisions", svc.Handler())
+	mux.Handle("GET /debug/traces", svc.Handler())
 	return mux
 }
 

@@ -10,7 +10,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"samnet/internal/obs"
 )
 
 // Client issues requests to replicas under the fleet's retry discipline:
@@ -35,6 +38,23 @@ type Client struct {
 	RetryBudget time.Duration
 	// sleep is the test seam for Retry-After waits.
 	sleep func(time.Duration)
+	// observe, when set, receives (url, duration) for every delivered
+	// request attempt — the gateway wires its per-replica latency
+	// histograms here. Health probes and metric scrapes are excluded so
+	// the distributions describe proxied work, not the control plane.
+	observe func(url string, d time.Duration)
+}
+
+// observeURL reports an attempt's latency to the observe hook, filtering the
+// control-plane endpoints the health checker and federation scraper hit.
+func (c *Client) observeURL(url string, d time.Duration) {
+	if c.observe == nil {
+		return
+	}
+	if strings.HasSuffix(url, "/healthz") || strings.HasSuffix(url, "/metrics") {
+		return
+	}
+	c.observe(url, d)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -92,11 +112,20 @@ func (c *Client) do(ctx context.Context, method, url, contentType string, body [
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		// Propagate the caller's trace: a request issued under a traced
+		// gateway span carries that span as traceparent, so the replica's
+		// span parents under the gateway's and the two debug-trace views
+		// join on one trace id.
+		if sctx, ok := obs.SpanFromContext(ctx); ok && sctx.Valid() {
+			req.Header["Traceparent"] = []string{sctx.Traceparent()}
+		}
 		req.ContentLength = int64(len(body))
+		begin := time.Now()
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return nil, err
 		}
+		c.observeURL(url, time.Since(begin))
 		if !retry429 || resp.StatusCode != http.StatusTooManyRequests || attempt >= c.attempts() {
 			return resp, nil
 		}

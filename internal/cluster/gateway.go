@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,11 @@ type GatewayConfig struct {
 	// Registry receives the gateway's samgate_* instruments (nil creates a
 	// private registry).
 	Registry *obs.Registry
+	// Tracer captures gateway spans behind GET /debug/traces and propagates
+	// trace context to replicas on every proxied, scattered, and failed-over
+	// request, so one trace joins the gateway hop with the replica spans it
+	// fanned out to. Nil leaves tracing off with zero extra cost.
+	Tracer *obs.Tracer
 	// Logger receives gateway warnings (nil selects slog.Default()).
 	Logger *slog.Logger
 }
@@ -89,6 +95,11 @@ type Gateway struct {
 	logger  *slog.Logger
 	rr      atomic.Uint64 // round-robin cursor for profile-less endpoints
 
+	// replicaLat/replicaReqs attribute outbound latency per replica,
+	// resolved once at construction (addresses are fixed membership).
+	replicaLat  map[string]*obs.Histogram
+	replicaReqs map[string]*obs.Counter
+
 	syncStop, syncDone chan struct{}
 	closeOnce          sync.Once
 }
@@ -110,6 +121,21 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		metrics: newGWMetrics(cfg.Registry),
 		logger:  cfg.Logger,
 	}
+	// Per-replica latency attribution: every delivered request attempt is
+	// prefix-matched back to its replica and lands in that replica's
+	// histogram, so a slow or degraded replica shows up as its own series
+	// rather than smearing across the endpoint aggregate.
+	g.replicaLat = make(map[string]*obs.Histogram, len(fleet.Replicas()))
+	g.replicaReqs = make(map[string]*obs.Counter, len(fleet.Replicas()))
+	for _, addr := range fleet.Replicas() {
+		g.replicaLat[addr] = cfg.Registry.Histogram("samgate_replica_request_duration_seconds",
+			"Latency of gateway-to-replica requests, by replica.",
+			obs.DefaultLatencyBuckets, obs.Label{Key: "replica", Value: addr})
+		g.replicaReqs[addr] = cfg.Registry.Counter("samgate_replica_requests_total",
+			"Gateway-to-replica requests delivered, by replica.",
+			obs.Label{Key: "replica", Value: addr})
+	}
+	client.observe = g.observeReplica
 	cfg.Registry.GaugeFunc("samgate_replicas",
 		"Replicas in the fleet membership.",
 		func() float64 { return float64(len(fleet.Replicas())) })
@@ -133,6 +159,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	mux.HandleFunc("DELETE /v1/isolation/{a}/{b}", g.instrument("isolation_lift", g.handleIsolationLift))
 	mux.HandleFunc("GET /v1/cluster", g.instrument("cluster", g.handleCluster))
 	mux.Handle("GET /metrics", cfg.Registry.Handler())
+	mux.HandleFunc("GET /metrics/fleet", g.instrument("metrics_fleet", g.handleMetricsFleet))
+	mux.Handle("GET /debug/traces", cfg.Tracer.Handler())
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux = mux
 
@@ -155,6 +183,22 @@ func (g *Gateway) Fleet() *Fleet { return g.fleet }
 
 // Registry returns the registry holding the gateway's instruments.
 func (g *Gateway) Registry() *obs.Registry { return g.cfg.Registry }
+
+// Tracer returns the gateway's request tracer (nil when tracing is off), for
+// mounting /debug/traces on additional listeners (samgate's debug endpoint).
+func (g *Gateway) Tracer() *obs.Tracer { return g.cfg.Tracer }
+
+// observeReplica is the Client.observe hook: attribute one delivered request
+// to its replica by address prefix.
+func (g *Gateway) observeReplica(url string, d time.Duration) {
+	for addr, h := range g.replicaLat {
+		if strings.HasPrefix(url, addr) {
+			h.ObserveDuration(d)
+			g.replicaReqs[addr].Inc()
+			return
+		}
+	}
+}
 
 // SyncNow runs one synchronous anti-entropy pass, returning how many
 // snapshot records were shipped to their owners.
@@ -736,13 +780,15 @@ func (g *Gateway) handleTrainBatch(w http.ResponseWriter, r *http.Request) {
 // --- metrics ----------------------------------------------------------------
 
 type gwMetrics struct {
-	reg        *obs.Registry
-	pulls      *obs.Counter
-	pullErrs   *obs.Counter
-	syncCopies *obs.Counter
-	failovers  *obs.Counter
-	scatters   *obs.Counter
-	respErrs   *obs.Counter
+	reg             *obs.Registry
+	pulls           *obs.Counter
+	pullErrs        *obs.Counter
+	syncCopies      *obs.Counter
+	failovers       *obs.Counter
+	scatters        *obs.Counter
+	respErrs        *obs.Counter
+	fleetScrapes    *obs.Counter
+	fleetScrapeErrs *obs.Counter
 }
 
 func newGWMetrics(reg *obs.Registry) *gwMetrics {
@@ -760,20 +806,61 @@ func newGWMetrics(reg *obs.Registry) *gwMetrics {
 			"Batch-training grids split across multiple replicas."),
 		respErrs: reg.Counter("samgate_response_errors_total",
 			"Response bodies that failed to encode or relay."),
+		fleetScrapes: reg.Counter("samgate_fleet_scrapes_total",
+			"Federated /metrics/fleet scrapes served."),
+		fleetScrapeErrs: reg.Counter("samgate_fleet_scrape_errors_total",
+			"Replica scrape failures during /metrics/fleet federation."),
 	}
 }
 
-// instrument wraps a handler with per-endpoint request counting and latency.
+// gwStatusWriter captures the status a traced gateway request answered; it
+// is allocated only on the tracing path. Unwrap keeps ResponseController
+// working for the stream scatter (full duplex, deadlines).
+type gwStatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *gwStatusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *gwStatusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps a handler with per-endpoint request counting and latency,
+// plus — when tracing is on — a gateway span whose context rides the request
+// into Client.do, so every proxied, scattered, or failed-over sub-request
+// carries the gateway span as its traceparent and the replica spans parent
+// under it.
 func (g *Gateway) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := g.cfg.Registry.Counter("samgate_requests_total",
 		"Requests served, by endpoint.", obs.Label{Key: "endpoint", Value: name})
 	lat := g.cfg.Registry.Histogram("samgate_request_duration_seconds",
 		"Request latency.", obs.DefaultLatencyBuckets, obs.Label{Key: "endpoint", Value: name})
+	tracer := g.cfg.Tracer
 	return func(w http.ResponseWriter, r *http.Request) {
+		var span obs.ActiveSpan
+		if tracer.Enabled() {
+			span = tracer.Start(name, obs.ParentFromRequest(r))
+			sw := &gwStatusWriter{ResponseWriter: w}
+			sw.Header()["Traceparent"] = []string{span.Context().Traceparent()}
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span.Context()))
+			w = sw
+		}
 		begin := time.Now()
 		h(w, r)
 		reqs.Inc()
 		lat.ObserveDuration(time.Since(begin))
+		if sw, ok := w.(*gwStatusWriter); ok {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			tracer.Finish(span, status)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"time"
 
+	"samnet/internal/obs"
 	"samnet/internal/service"
 )
 
@@ -141,6 +142,11 @@ func (g *Gateway) openUpstream(ctx context.Context, addr string) *upstream {
 		return u
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	// Stream scatter propagates the gateway span too: the replica's stream
+	// span (and its per-line children) joins the same trace.
+	if sctx, ok := obs.SpanFromContext(ctx); ok && sctx.Valid() {
+		req.Header["Traceparent"] = []string{sctx.Traceparent()}
+	}
 	resp, err := g.client.httpClient().Do(req)
 	if err != nil {
 		if NotDelivered(err) {

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// accessWriter captures the response status for access logging. It keeps
+// http.ResponseController working (Flush, deadlines, full-duplex on the
+// stream paths) by exposing the wrapped writer via Unwrap.
+type accessWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *accessWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *accessWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// AccessLog wraps next with sampled structured request logging: one request
+// in every `every` is logged at Info with method, path, status, duration,
+// and — when the handler started a span — the trace id, so a log line joins
+// /debug/traces directly. every <= 0 disables sampling entirely and returns
+// next unwrapped, every == 1 logs everything. Sampling is a single atomic
+// counter, shared across all connections.
+func AccessLog(logger *slog.Logger, every int, next http.Handler) http.Handler {
+	if logger == nil || every <= 0 {
+		return next
+	}
+	var n atomic.Uint64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%uint64(every) != 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		aw := &accessWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(aw, r)
+		status := aw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration", time.Since(begin),
+		}
+		// Instrumented handlers announce their span in the response header;
+		// reading it back here keeps the middleware decoupled from the
+		// tracer while still joining log lines to traces.
+		if tp := aw.Header().Get("Traceparent"); tp != "" {
+			if t, _, ok := ParseTraceparent(tp); ok {
+				attrs = append(attrs, "trace_id", t.String())
+			}
+		}
+		logger.Info("request", attrs...)
+	})
+}

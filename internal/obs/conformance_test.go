@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionEscapingConformance pins label-value escaping against the
+// Prometheus 0.0.4 text format over adversarial values: inside a
+// double-quoted label value, `\` must render as `\\`, `"` as `\"`, and a
+// line feed as `\n`; everything else passes through. Each case is checked
+// differentially — the rendered series line must equal one built from the
+// spec's escape table — so an escaping regression cannot hide behind the
+// renderer that introduced it.
+func TestExpositionEscapingConformance(t *testing.T) {
+	specEscape := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			switch r {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	adversarial := []string{
+		`plain`,
+		`back\slash`,
+		`quote"inside`,
+		"line\nfeed",
+		`trailing\`,
+		`\"already escaped\"`,
+		"all\\three\"at\nonce",
+		`\\double\\`,
+		"",
+		"unicode-ünïcodé-值",
+		"tab\tand\rcarriage", // pass through unescaped per spec
+	}
+	for i, val := range adversarial {
+		r := NewRegistry()
+		r.Counter("conf_total", "", Label{Key: "v", Value: val}).Inc()
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		want := `conf_total{v="` + specEscape(val) + `"} 1` + "\n"
+		lines := strings.Split(buf.String(), "\n")
+		got := lines[len(lines)-2] + "\n" // last non-empty line is the sample
+		if got != want {
+			t.Errorf("case %d %q:\n got %q\nwant %q", i, val, got, want)
+		}
+		if got := EscapeLabelValue(val); got != specEscape(val) {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", val, got, specEscape(val))
+		}
+	}
+}
+
+func TestMetricAndLabelNameValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	// ':' is legal in metric names (recording-rule namespace)...
+	r.Counter("job:rate5m:sum", "").Inc()
+	// ...but not in label names.
+	mustPanic("colon label", func() {
+		NewRegistry().Counter("ok_total", "", Label{Key: "a:b", Value: "x"})
+	})
+	mustPanic("empty label", func() {
+		NewRegistry().Counter("ok_total", "", Label{Key: "", Value: "x"})
+	})
+	mustPanic("leading digit label", func() {
+		NewRegistry().Counter("ok_total", "", Label{Key: "1x", Value: "x"})
+	})
+	mustPanic("duplicate label keys", func() {
+		NewRegistry().Counter("ok_total", "",
+			Label{Key: "k", Value: "a"}, Label{Key: "k", Value: "b"})
+	})
+	mustPanic("bad metric name", func() { NewRegistry().Counter("bad-name", "") })
+}
+
+// TestGaugeFuncRegisterVsScrape races sampler (re-)registration against
+// exposition; run under -race this pins the lock discipline around s.gf.
+func TestGaugeFuncRegisterVsScrape(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("racy_gauge", "", func() float64 { return 0 })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := float64(i)
+			r.GaugeFunc("racy_gauge", "", func() float64 { return v })
+			r.GaugeFunc("other_gauge", "", func() float64 { return -v })
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		if !strings.Contains(buf.String(), "racy_gauge ") {
+			t.Fatal("racy_gauge missing from exposition")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHistogramExpositionZeroObservations pins the empty-instrument shape:
+// every bucket (including +Inf) at 0, _sum 0, _count 0 — never NaN.
+func TestHistogramExpositionZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "", []float64{0.1, 1})
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `# TYPE empty_seconds histogram
+empty_seconds_bucket{le="0.1"} 0
+empty_seconds_bucket{le="1"} 0
+empty_seconds_bucket{le="+Inf"} 0
+empty_seconds_sum 0
+empty_seconds_count 0
+`
+	if got := buf.String(); got != want {
+		t.Errorf("zero-observation exposition:\n got %q\nwant %q", got, want)
+	}
+	h := NewHistogram([]float64{0.1, 1})
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Max()) {
+		t.Error("empty histogram quantile/max should be NaN")
+	}
+}
+
+// TestHistogramExpositionMaxClamped pins the over-the-top shape: samples
+// beyond the last bound land only in +Inf, buckets stay cumulative, and
+// quantiles clamp to the tracked maximum instead of inventing a bound.
+func TestHistogramExpositionMaxClamped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hot_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(50)  // beyond last bound
+	h.Observe(999) // beyond last bound, new max
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `# TYPE hot_seconds histogram
+hot_seconds_bucket{le="0.1"} 1
+hot_seconds_bucket{le="1"} 1
+hot_seconds_bucket{le="+Inf"} 3
+hot_seconds_sum 1049.05
+hot_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("max-clamped exposition:\n got %q\nwant %q", got, want)
+	}
+	if got := h.Max(); got != 999 {
+		t.Errorf("Max = %v, want 999", got)
+	}
+	if got := h.Quantile(0.99); got != 999 {
+		t.Errorf("Quantile(0.99) = %v, want clamp to max 999", got)
+	}
+}
+
+func TestAccessLogSampling(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := NewTracer(8, 0)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		span := tr.Start("detect", ParentFromRequest(r))
+		w.Header().Set("Traceparent", span.Context().Traceparent())
+		w.WriteHeader(http.StatusTeapot)
+		tr.Finish(span, http.StatusTeapot)
+	})
+	h := AccessLog(logger, 2, inner)
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/detect", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("middleware changed status: %d", rec.Code)
+		}
+	}
+	lines := strings.Count(buf.String(), "msg=request")
+	if lines != 3 {
+		t.Fatalf("1-in-2 sampling logged %d of 6", lines)
+	}
+	for _, want := range []string{"method=POST", "path=/v1/detect", "status=418", "duration=", "trace_id="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("log line missing %q in %q", want, buf.String())
+		}
+	}
+
+	// every <= 0 disables the middleware entirely (identity wrap).
+	if got := AccessLog(logger, 0, inner); got == nil {
+		t.Fatal("nil handler")
+	} else if fmt.Sprintf("%p", got) != fmt.Sprintf("%p", inner) {
+		// Not identical — but it must at least not log.
+		buf.Reset()
+		rec := httptest.NewRecorder()
+		got.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		if buf.Len() != 0 {
+			t.Fatal("every=0 should not log")
+		}
+	}
+}

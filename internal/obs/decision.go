@@ -69,6 +69,11 @@ type Decision struct {
 	// incriminating evidence mass fraction and the typed records behind it.
 	Likelihood float64            `json:"likelihood,omitempty"`
 	Evidence   []DecisionEvidence `json:"evidence,omitempty"`
+
+	// TraceID links the decision to its request trace (/debug/traces) when
+	// tracing was on. Ring-only: response bodies never carry it, so output
+	// stays byte-identical with tracing on or off.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DecisionEvidence is one probe evidence record inside a verify decision,

@@ -129,7 +129,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 }
 
 func (r *Registry) getOrCreate(name, help string, k kind, bounds []float64, labels []Label) *series {
-	if !validName(name) {
+	if !validMetricName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
 	key := renderLabels(labels)
@@ -240,8 +240,11 @@ func renderLabels(labels []Label) string {
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range ls {
-		if !validName(l.Key) {
+		if !validLabelName(l.Key) {
 			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 && ls[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label name %q", l.Key))
 		}
 		if i > 0 {
 			b.WriteByte(',')
@@ -278,14 +281,32 @@ func escapeValue(s string) string {
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
-// validName accepts Prometheus metric/label identifiers.
-func validName(s string) bool {
+// EscapeLabelValue escapes a string for use inside a double-quoted label
+// value per the Prometheus 0.0.4 text format: backslash, double quote, and
+// line feed become \\, \", and \n. Exported for composers that splice label
+// values into already-rendered exposition text (fleet federation).
+func EscapeLabelValue(s string) string { return escapeValue(s) }
+
+// validMetricName accepts Prometheus metric names, which — unlike label
+// names — may contain ':' (reserved for recording rules, but legal).
+func validMetricName(s string) bool { return validIdent(s, true) }
+
+// validLabelName accepts Prometheus label names: [a-zA-Z_][a-zA-Z0-9_]*.
+// ':' is legal in metric names only; accepting it here would emit series no
+// conformant parser ingests.
+func validLabelName(s string) bool { return validIdent(s, false) }
+
+func validIdent(s string, allowColon bool) bool {
 	if s == "" {
 		return false
 	}
 	for i, c := range s {
 		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':':
+			if !allowColon {
+				return false
+			}
 		case c >= '0' && c <= '9':
 			if i == 0 {
 				return false

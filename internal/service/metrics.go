@@ -17,6 +17,10 @@ import (
 type metrics struct {
 	reg *obs.Registry
 
+	// tracer captures per-request spans when enabled; nil (or disabled)
+	// keeps the instrument wrapper on its zero-extra-alloc path.
+	tracer *obs.Tracer
+
 	// Per-detection instruments: one counter per hard decision plus the
 	// distributions of the paper's statistics as scored in production.
 	detections   [3]*obs.Counter // indexed by sam.Decision
@@ -47,8 +51,8 @@ type metrics struct {
 	respErrors *obs.Counter
 }
 
-func newMetrics(reg *obs.Registry) *metrics {
-	m := &metrics{reg: reg}
+func newMetrics(reg *obs.Registry, tracer *obs.Tracer) *metrics {
+	m := &metrics{reg: reg, tracer: tracer}
 	for d := sam.Normal; d <= sam.Attacked; d++ {
 		m.detections[d] = reg.Counter("samserve_detections_total",
 			"Scored route sets, by hard decision.",
@@ -190,13 +194,26 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // measurable garbage.
 var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
-// instrument wraps a handler with request counting and latency observation
-// under the given endpoint name.
+// instrument wraps a handler with request counting, latency observation,
+// and — when tracing is enabled — a server span under the given endpoint
+// name. The tracing branch is guarded by one atomic load, so with the
+// tracer off (or nil) the wrapper's cost is exactly what it was before
+// tracing existed: the zero-alloc detect guarantee does not move.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := m.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := statusWriterPool.Get().(*statusWriter)
 		sw.ResponseWriter, sw.status = w, 0
+		var span obs.ActiveSpan
+		if m.tracer.Enabled() {
+			// Continue the caller's trace (gateway hop, external client)
+			// or root a new one. The span context rides the request
+			// context for downstream propagation, and the response echoes
+			// the header so clients and the access log can join the trace.
+			span = m.tracer.Start(name, obs.ParentFromRequest(r))
+			sw.Header()["Traceparent"] = []string{span.Context().Traceparent()}
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span.Context()))
+		}
 		begin := time.Now()
 		h(sw, r)
 		status := sw.status
@@ -206,5 +223,6 @@ func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw.ResponseWriter = nil
 		statusWriterPool.Put(sw)
 		em.record(status, time.Since(begin))
+		m.tracer.Finish(span, status)
 	}
 }

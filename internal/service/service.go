@@ -71,6 +71,12 @@ type Config struct {
 	// GET /debug/decisions (default 256; negative disables capture, making
 	// the detect path record-free).
 	DecisionBuffer int
+	// Tracer captures per-request spans behind GET /debug/traces and
+	// propagates trace context (W3C traceparent) in and out. Nil leaves
+	// tracing off entirely: the request path takes one atomic-load branch
+	// and allocates nothing extra, and response bodies are byte-identical
+	// either way (spans are observe-only, like decision records).
+	Tracer *obs.Tracer
 	// Verify configures the probe engine behind POST /v1/verify; zero fields
 	// take the verify defaults (per-request knobs override).
 	Verify verify.Config
@@ -155,7 +161,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		store:   newStore(cfg.Shards, cfg.Detector, cfg.PMFBins),
 		pool:    newPool(cfg.Workers, cfg.QueueDepth),
-		metrics: newMetrics(cfg.Registry),
+		metrics: newMetrics(cfg.Registry, cfg.Tracer),
 		logger:  cfg.Logger,
 		detCfg:  cfg.Detector.WithDefaults(),
 		iso:     verify.NewIsolationSet(),
@@ -194,6 +200,7 @@ func New(cfg Config) *Service {
 	mux.HandleFunc("PUT /v1/profiles/{name}", s.wrap("profile_put", s.handlePutProfile))
 	mux.HandleFunc("DELETE /v1/profiles/{name}", s.wrap("profile_delete", s.handleDeleteProfile))
 	mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+	mux.Handle("GET /debug/traces", cfg.Tracer.Handler())
 	mux.Handle("GET /metrics", cfg.Registry.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -289,6 +296,10 @@ func (s *Service) Registry() *obs.Registry { return s.cfg.Registry }
 
 // Decisions returns the decision record ring (nil when capture is disabled).
 func (s *Service) Decisions() *obs.DecisionRing { return s.decisions }
+
+// Tracer returns the request tracer (nil when tracing is off), for mounting
+// /debug/traces on additional listeners (samserve's debug endpoint).
+func (s *Service) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // Handler returns the service's HTTP handler.
 func (s *Service) Handler() http.Handler { return s.mux }
@@ -451,6 +462,7 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
+	sc.trace = requestTraceHex(r)
 	status, rec, v := s.detectScratch(sc)
 	if rec != nil {
 		s.writeJSON(w, http.StatusOK, DetectResponse{
@@ -485,7 +497,7 @@ func (s *Service) detectScratch(sc *wireScratch) (status int, rec *obs.Decision,
 		sc.out = appendErrorResponse(sc.out[:0], fmt.Sprintf("profile %q: %v", e.name, err))
 		return scoreStatus(err), nil, v
 	}
-	if rec = s.observe(e.name, v, sc.explain); rec != nil {
+	if rec = s.observe(e.name, v, sc.explain, sc.trace); rec != nil {
 		return http.StatusOK, rec, v
 	}
 	sc.out = appendDetectResponse(sc.out[:0], sc.profile, verdictJSON(v))
@@ -497,18 +509,33 @@ func (s *Service) detectScratch(sc *wireScratch) (status int, rec *obs.Decision,
 // response body. Every detect path (single, batch, stream) goes through
 // here, so capture/explain semantics cannot drift between them. The
 // disabled-capture path is one atomic load and allocation-free (pinned by
-// TestDetectTelemetryOffZeroAlloc).
-func (s *Service) observe(profile string, v sam.Verdict, explain bool) *obs.Decision {
+// TestDetectTelemetryOffZeroAlloc). trace is the request's trace id ("" when
+// tracing is off); it is stamped on the ring record only — the explain copy
+// returned for the response body is scrubbed, keeping response bytes
+// identical with tracing on or off.
+func (s *Service) observe(profile string, v sam.Verdict, explain bool, trace string) *obs.Decision {
 	s.metrics.observeVerdict(v)
 	if !explain && !s.decisions.Enabled() {
 		return nil
 	}
 	rec := sam.NewDecisionRecord(profile, v, s.detCfg)
+	rec.TraceID = trace
 	s.decisions.Record(rec)
 	if explain {
+		rec.TraceID = ""
 		return &rec
 	}
 	return nil
+}
+
+// requestTraceHex returns the request's 32-digit hex trace id, or "" when no
+// span was started (tracing off). The miss path is one context walk: no
+// allocation, safe on the detect hot path.
+func requestTraceHex(r *http.Request) string {
+	if sc, ok := obs.SpanFromContext(r.Context()); ok {
+		return sc.TraceHex()
+	}
+	return ""
 }
 
 func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
@@ -522,6 +549,7 @@ func (s *Service) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		s.errorf(w, sc, decodeStatus(err), "%v", err)
 		return
 	}
+	sc.trace = requestTraceHex(r)
 	if len(sc.profile) == 0 {
 		s.errorf(w, sc, http.StatusBadRequest, "missing profile name")
 		return
@@ -585,7 +613,7 @@ func (s *Service) finishBatch(sc *wireScratch, profile string) int {
 			sc.errStrs[i] = fmt.Sprintf("profile %q: %v", profile, err)
 			continue
 		}
-		s.observe(profile, sc.verdicts[i], false)
+		s.observe(profile, sc.verdicts[i], false, sc.trace)
 		sc.wire[i] = verdictJSON(sc.verdicts[i])
 	}
 	sc.out = appendBatchDetectResponse(sc.out[:0], sc.profile, sc.wire, sc.errStrs)

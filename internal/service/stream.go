@@ -34,6 +34,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"samnet/internal/obs"
 )
 
 // streamFlushEvery bounds how many response lines may accumulate before a
@@ -65,6 +67,14 @@ func (s *Service) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 	defer putScratch(sc)
 	lr := lineReader{r: r.Body, buf: sc.lbuf[:0], limit: s.cfg.MaxBodyBytes}
 	defer func() { sc.lbuf = lr.buf }()
+
+	// Per-line child spans: the stream request's own span (started by
+	// instrument) parents one span per scored line, so an individual slow
+	// line inside an hours-long pipelined connection is still traceable.
+	// With tracing off, parent stays zero and the loop takes one atomic
+	// load per line.
+	tracer := s.metrics.tracer
+	parent, _ := obs.SpanFromContext(r.Context())
 
 	// Slide the per-request deadlines forward at every flush: the server's
 	// blanket ReadTimeout/WriteTimeout would otherwise cut a healthy
@@ -124,7 +134,13 @@ func (s *Service) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if body == nil {
-			_, rec, v := s.detectScratch(sc)
+			var lineSpan obs.ActiveSpan
+			if tracer.Enabled() {
+				lineSpan = tracer.Start("detect_stream_line", parent)
+				sc.trace = lineSpan.Context().TraceHex()
+			}
+			lineStatus, rec, v := s.detectScratch(sc)
+			tracer.Finish(lineSpan, lineStatus)
 			if rec != nil {
 				// Explain lines are cold-path: encoding/json builds the line
 				// (Encode appends the newline NDJSON needs).
@@ -182,6 +198,13 @@ func (lr *lineReader) next() ([]byte, error) {
 			if i := bytes.IndexByte(lr.buf[lr.start:], '\n'); i >= 0 {
 				line := lr.buf[lr.start : lr.start+i]
 				lr.start += i + 1
+				if int64(len(line)) > lr.limit {
+					// A pooled buffer can be (much) larger than the limit, so
+					// a complete over-limit line may arrive in a single read
+					// without ever tripping the refill-time check below. It is
+					// already consumed past its newline, so alignment holds.
+					return nil, errBodyTooLarge
+				}
 				if line = trimLine(line); len(line) > 0 {
 					return line, nil
 				}
@@ -193,6 +216,9 @@ func (lr *lineReader) next() ([]byte, error) {
 			// Reader exhausted: a trailing unterminated line still counts.
 			if line := trimLine(lr.buf[lr.start:]); len(line) > 0 && lr.err == io.EOF {
 				lr.start = len(lr.buf)
+				if int64(len(line)) > lr.limit {
+					return nil, errBodyTooLarge
+				}
 				return line, nil
 			}
 			if lr.err == io.EOF {

@@ -278,7 +278,7 @@ func TestDetectTelemetryOffZeroAlloc(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc.observe("test", v, false)
+		svc.observe("test", v, false, "")
 	})
 	if withTelemetry != base {
 		t.Errorf("disabled telemetry costs %.1f allocs/op over the %.1f baseline, want 0 extra",
@@ -311,6 +311,6 @@ func BenchmarkDetectNoTelemetry(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		svc.observe("test", v, false)
+		svc.observe("test", v, false, "")
 	}
 }

@@ -187,6 +187,7 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if s.decisions.Enabled() {
 		rec := obs.Decision{
 			Kind:       "verify",
+			TraceID:    requestTraceHex(r),
 			Routes:     len(routes),
 			Suspect:    obs.DecisionLink{A: int(pair.A), B: int(pair.B)},
 			Likelihood: v.Likelihood,

@@ -60,6 +60,10 @@ type wireScratch struct {
 	explain   bool
 	topK      int
 
+	// trace is the request's (or stream line's) hex trace id, "" when
+	// tracing is off; decision records stamp it ring-side only.
+	trace string
+
 	// Route arena: node ids land contiguously in arena, spans records one
 	// [start,end) per route, setEnds one end-index into spans per batch item.
 	arena   []topology.NodeID
@@ -98,6 +102,7 @@ func (sc *wireScratch) reset() {
 	sc.profile = sc.profile[:0]
 	sc.update, sc.updateSet, sc.explain = false, false, false
 	sc.topK = 0
+	sc.trace = ""
 	sc.resetRoutes()
 	sc.out = sc.out[:0]
 }

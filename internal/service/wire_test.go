@@ -416,3 +416,39 @@ func TestDetectStream(t *testing.T) {
 		}
 	})
 }
+
+// TestLineReaderLimitWithLargeBuffer pins that the per-line limit holds even
+// when the pooled buffer is larger than the limit — a complete over-limit
+// line arriving in one read must still answer errBodyTooLarge, with the
+// reader aligned on the next line (regression: the limit was only enforced
+// at refill time, so a big enough recycled buffer bypassed it).
+func TestLineReaderLimitWithLargeBuffer(t *testing.T) {
+	long := strings.Repeat("x", 1024)
+	t.Run("terminated", func(t *testing.T) {
+		lr := lineReader{
+			r:     strings.NewReader(long + "\nnext\n"),
+			buf:   make([]byte, 0, 1<<16), // recycled scratch, cap >> limit
+			limit: 256,
+		}
+		if _, err := lr.next(); err != errBodyTooLarge {
+			t.Fatalf("over-limit line: err = %v, want errBodyTooLarge", err)
+		}
+		line, err := lr.next()
+		if err != nil || string(line) != "next" {
+			t.Fatalf("after over-limit line: %q, %v, want \"next\"", line, err)
+		}
+		if _, err := lr.next(); err != io.EOF {
+			t.Fatalf("end of stream: err = %v, want EOF", err)
+		}
+	})
+	t.Run("unterminated-trailing", func(t *testing.T) {
+		lr := lineReader{
+			r:     strings.NewReader(long), // no newline, fits in one read
+			buf:   make([]byte, 0, 1<<16),
+			limit: 256,
+		}
+		if _, err := lr.next(); err != errBodyTooLarge {
+			t.Fatalf("trailing over-limit line: err = %v, want errBodyTooLarge", err)
+		}
+	})
+}
