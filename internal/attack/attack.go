@@ -20,6 +20,10 @@ import (
 type Wormhole struct {
 	A, B topology.NodeID
 	topo *topology.Topology
+	// installed tracks whether this handle owns a live extra link. Handles
+	// that never tunneled (rushing attackers) leave it false, so Remove
+	// cannot tear down a link someone else installed on the same pair.
+	installed bool
 }
 
 // Install creates the tunnel between a and b in topo and returns a handle
@@ -29,7 +33,7 @@ func Install(topo *topology.Topology, a, b topology.NodeID) *Wormhole {
 		panic("attack: wormhole endpoints must differ")
 	}
 	topo.AddExtraLink(a, b)
-	return &Wormhole{A: a, B: b, topo: topo}
+	return &Wormhole{A: a, B: b, topo: topo, installed: true}
 }
 
 // InstallPairs installs the first count wormholes of net's attacker pairs
@@ -47,7 +51,20 @@ func InstallPairs(net *topology.Network, count int) []*Wormhole {
 }
 
 // Remove tears the tunnel down (e.g. after the IDS isolates the attackers).
-func (w *Wormhole) Remove() { w.topo.RemoveExtraLink(w.A, w.B) }
+// It is a no-op on a handle whose tunnel was never installed — tunnel-less
+// attackers (rushing scenarios) share the Wormhole bookkeeping, and tearing
+// such a handle down must not delete an extra link installed by anyone else
+// on the same pair.
+func (w *Wormhole) Remove() {
+	if !w.installed {
+		return
+	}
+	w.installed = false
+	w.topo.RemoveExtraLink(w.A, w.B)
+}
+
+// Installed reports whether this handle currently owns a live tunnel link.
+func (w *Wormhole) Installed() bool { return w.installed }
 
 // Link returns the tunnel as a normalized link — the paper's "attack link"
 // whose appearance frequency SAM keys on.
@@ -139,6 +156,21 @@ type Scenario struct {
 	// the normal MAC delay, winning duplicate-suppression races even
 	// without a tunnel. Zero disables rushing.
 	RushFactor float64
+	// TunnelDelay is the extra latency each tunnel-link crossing costs — a
+	// variable-latency out-of-band channel instead of the classic
+	// instantaneous one. Zero keeps the classic free tunnel.
+	TunnelDelay sim.Time
+	// ReqBudget, when positive, throttles tunnel usage during route
+	// discovery: at most ReqBudget RREQ copies per request may cross each
+	// tunnel link (receive-side; both directions count together). The
+	// adaptive attacker uses it to cap how many tunneled routes the
+	// destination can collect, keeping the tunnel's appearance frequency —
+	// SAM's p_max — under the trained alarm threshold. Zero is unlimited.
+	ReqBudget int
+	// TargetPMax records the trained p_max alarm level an adaptive attacker
+	// is engineered to stay under (informational; the throttle itself is
+	// ReqBudget + TunnelDelay).
+	TargetPMax float64
 }
 
 // NewScenario installs count wormholes on net with the given payload
@@ -178,18 +210,53 @@ func (s *Scenario) MaliciousNodes() map[topology.NodeID]bool {
 	return out
 }
 
-// Arm installs the payload drop policy (and rushing delay factors, if
-// configured) on simNet and returns the policy so callers can read the drop
-// count.
+// Arm installs the payload drop policy (and rushing delay factors, tunnel
+// latency and the adaptive request throttle, if configured) on simNet and
+// returns the policy so callers can read the drop count.
 func (s *Scenario) Arm(simNet *sim.Network) *DropPolicy {
 	p := NewDropPolicy(s.MaliciousNodes(), s.Behavior)
-	simNet.SetDropFunc(p.Func(simNet.Rand()))
+	drop := p.Func(simNet.Rand())
+	if s.ReqBudget > 0 {
+		drop = s.throttleRREQ(drop)
+	}
+	simNet.SetDropFunc(drop)
 	if s.RushFactor > 0 && s.RushFactor < 1 {
 		for id := range s.MaliciousNodes() {
 			simNet.SetDelayFactor(id, s.RushFactor)
 		}
 	}
+	if s.TunnelDelay > 0 {
+		for _, w := range s.Tunnels {
+			if w.Installed() {
+				simNet.SetLinkDelay(w.A, w.B, s.TunnelDelay)
+			}
+		}
+	}
 	return p
+}
+
+// throttleRREQ wraps a drop decision with the adaptive attacker's tunnel
+// budget: once ReqBudget RREQ copies of one request have crossed a tunnel
+// link, further copies of that request die at the tunnel exit. Everything
+// else falls through to the base policy.
+func (s *Scenario) throttleRREQ(base sim.DropFunc) sim.DropFunc {
+	tunnels := make(map[topology.Link]bool, len(s.Tunnels))
+	for _, w := range s.Tunnels {
+		if w.Installed() {
+			tunnels[w.Link()] = true
+		}
+	}
+	used := make(map[uint64]int)
+	return func(n *sim.Network, from, to topology.NodeID, pkt sim.Packet) bool {
+		if q, ok := pkt.(*routing.RREQ); ok && tunnels[topology.MkLink(from, to)] {
+			used[q.ReqID]++
+			if used[q.ReqID] > s.ReqBudget {
+				return true
+			}
+			return false
+		}
+		return base(n, from, to, pkt)
+	}
 }
 
 // NewRushingScenario builds attackers that rush but do not tunnel: the

@@ -42,6 +42,7 @@ var Registry = []Definition{
 	{"roc", "extension", "Detector operating curve (threshold sweep)", ROC},
 	{"pdr", "extension", "Packet delivery ratio: oblivious vs detected vs isolated", PDR},
 	{"verifyloop", "extension", "Closed-loop IDS: detect, probe, isolate, re-route", VerifyLoop},
+	{"rocmatrix", "extension", "ROC matrix: detector family vs. adversary family", ROCMatrix},
 }
 
 // ByID returns the experiment definition with the given id.

@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"samnet/internal/attack"
+	"samnet/internal/routing"
+	"samnet/internal/routing/dsr"
+	"samnet/internal/routing/mr"
+	"samnet/internal/runner"
+	"samnet/internal/sam"
+	"samnet/internal/sim"
+	"samnet/internal/topology"
+	"samnet/internal/trace"
+)
+
+// ROCMatrix sweeps the detector family against the adversary family — the
+// arms race the paper's single classic wormhole never exercises. Rows are
+// scenarios (normal plus each complex-attack variant); columns are the three
+// detectors: SAM alone (the paper's p_max/phi statistic), the PMF detector,
+// and the hybrid that adds per-link z-scores, neighbor-table comparison and
+// delay-consistency evidence. The interesting cells are the ones where a
+// complex adversary flattens the frequency signal SAM keys on (relay chains
+// split it, adaptive throttling starves it, forgery diversifies it) and the
+// hybrid's side channels recover the detection — without raising the normal
+// rows' false-alarm rate.
+func ROCMatrix(cfg Config) *trace.Artifact {
+	cfg = cfg.withDefaults()
+	rows := rocMatrixRows(cfg)
+
+	matrix := &trace.Table{
+		Title:   "Extension — ROC matrix: detector family vs. adversary family (1-tier cluster)",
+		Headers: []string{"Scenario", "Routes", "p_max", "SAM", "PMF", "Hybrid"},
+		Notes: []string{
+			"Each detector column is the fraction of runs flagged: a false-alarm rate on the " +
+				"normal rows, a detection rate on the attack rows.",
+			"SAM flags a verdict other than 'normal' (it triggers step-2 probing); PMF flags on " +
+				"total-variation distance or tail mass; the hybrid ORs SAM with per-link z-score, " +
+				"neighbor-table and delay-consistency evidence.",
+			"MR rows score the destination's collected routes; DSR rows score the replies the " +
+				"source receives (forged replies never reach the destination's collection).",
+		},
+	}
+	channels := &trace.Table{
+		Title:   "Hybrid evidence channels (fraction of runs each channel fired)",
+		Headers: []string{"Scenario", "BySAM", "ByPMF", "ByZ", "ByNeighbor", "ByDelay"},
+		Notes: []string{
+			"Which leg of the hybrid carries each detection: chains and adaptive tunnels evade " +
+				"the frequency channels but leak through neighbor detours and timing; forged " +
+				"replies leak through uncorroborated links and impossible reply latency.",
+		},
+	}
+	for _, r := range rows {
+		matrix.AddRow(r.Scenario,
+			trace.F2(r.MeanRoutes), trace.F(r.MeanPMax),
+			trace.Pct(r.SAM), trace.Pct(r.PMF), trace.Pct(r.Hybrid))
+		channels.AddRow(r.Scenario,
+			trace.Pct(r.Channels[0]), trace.Pct(r.Channels[1]), trace.Pct(r.Channels[2]),
+			trace.Pct(r.Channels[3]), trace.Pct(r.Channels[4]))
+	}
+	return &trace.Artifact{ID: "rocmatrix", Kind: "extension", Tables: []*trace.Table{matrix, channels}}
+}
+
+// rocMatrixRow is one scenario's aggregate outcome, exposed separately from
+// the rendered table so the golden and determinism tests can pin bands.
+type rocMatrixRow struct {
+	Scenario string
+	// SAM, PMF, Hybrid are the flagged-run fractions per detector.
+	SAM, PMF, Hybrid float64
+	// Channels are the hybrid's per-channel firing fractions, in verdict
+	// order: BySAM, ByPMF, ByZ, ByNeighbor, ByDelay.
+	Channels [5]float64
+	// MeanPMax and MeanRoutes summarize the scored route sets.
+	MeanPMax, MeanRoutes float64
+}
+
+// rocMatrixCell names one scenario row: a protocol family and an adversary
+// variant ("" = normal).
+type rocMatrixCell struct {
+	name    string
+	proto   string // "MR" or "DSR"
+	variant string // attack.Named vocabulary
+}
+
+// rocMatrixCells is the sweep grid. MR rows cover the tunnel-based variants
+// (the destination's collection is where tunnel frequency shows); the DSR
+// rows cover reply forgery, which only exists on the reply path, plus its own
+// normal baseline.
+func rocMatrixCells() []rocMatrixCell {
+	return []rocMatrixCell{
+		{"normal/MR", "MR", ""},
+		{"classic/MR", "MR", "classic"},
+		{"latent/MR", "MR", "latent"},
+		{"chain/MR", "MR", "chain"},
+		{"adaptive/MR", "MR", "adaptive"},
+		{"normal/DSR", "DSR", ""},
+		{"forge/DSR", "DSR", "forge"},
+	}
+}
+
+// rocMatrixRun executes one discovery of one cell and returns what a
+// detector deployment would see: the scored route set, its per-route timing
+// (nil-safe for the delay check), and the claimed neighbor tables (honest
+// radio claims plus the colluders corroborating their own tunnels).
+func rocMatrixRun(cfg Config, label, proto, variant string, run int, cache *simCache) ([]routing.Route, []sim.Time, *sam.NeighborTables) {
+	net := topology.Cluster(1, 2)
+	var sc *attack.Scenario
+	if variant != "" {
+		var err error
+		sc, err = attack.Named(variant, net, attack.Forward)
+		if err != nil {
+			panic("experiment: rocmatrix: " + err.Error())
+		}
+	}
+	src, dst := net.PickPair(pairRNG(cfg.Seed, run))
+	simNet := cache.network(net.Topo, sim.Config{Seed: deriveSeed(cfg.Seed, label, run)})
+
+	nbr := sam.RadioNeighborTables(net.Topo)
+	var forge routing.ForgeFunc
+	if sc != nil {
+		sc.Arm(simNet)
+		for _, w := range sc.Tunnels {
+			if w.Installed() {
+				nbr.ClaimLink(w.A, w.B)
+			}
+		}
+		if variant == "forge" {
+			forge = sc.ForgeFunc()
+		}
+	}
+
+	var routes []routing.Route
+	var times []sim.Time
+	switch proto {
+	case "MR":
+		disc := (&mr.Protocol{Forge: forge}).Discover(simNet, src, dst)
+		routes, times = disc.Routes, disc.Times
+	case "DSR":
+		disc := (&dsr.Protocol{Forge: forge}).Discover(simNet, src, dst)
+		routes = disc.Replies
+		times = make([]sim.Time, len(disc.ReplyTimes))
+		for i, at := range disc.ReplyTimes {
+			// Reply travel time: forged replies launch mid-flood and land
+			// before the flood ends, so their elapsed time goes negative —
+			// squarely inside the hybrid's "faster than radio" band.
+			times[i] = at - disc.FloodEnd
+		}
+	default:
+		panic("experiment: rocmatrix: unknown protocol " + proto)
+	}
+	if sc != nil {
+		sc.Teardown()
+	}
+	return routes, times, nbr
+}
+
+// rocMatrixProfile trains one protocol family's normal-condition profile on a
+// seed stream disjoint from evaluation.
+func rocMatrixProfile(cfg Config, proto string) *sam.Profile {
+	label := "rocmatrix/train/" + proto
+	trainCfg := cfg
+	trainCfg.Runs = 30
+	trainCfg.Seed = cfg.Seed + 13
+	statsOut := runner.MapWorkerProgress(trainCfg.Workers, trainCfg.Runs, trainCfg.Progress, newSimCache, func(run int, cache *simCache) sam.Stats {
+		routes, _, _ := rocMatrixRun(trainCfg, label, proto, "", run, cache)
+		return sam.Analyze(routes)
+	})
+	trainer := sam.NewTrainer(label, 0)
+	for _, s := range statsOut {
+		trainer.Observe(s)
+	}
+	profile, err := trainer.Profile()
+	if err != nil {
+		panic("experiment: rocmatrix training failed: " + err.Error())
+	}
+	return profile
+}
+
+func rocMatrixRows(cfg Config) []rocMatrixRow {
+	cfg = cfg.withDefaults()
+	profiles := map[string]*sam.Profile{
+		"MR":  rocMatrixProfile(cfg, "MR"),
+		"DSR": rocMatrixProfile(cfg, "DSR"),
+	}
+	cells := rocMatrixCells()
+
+	type out struct {
+		flags    [3]bool // SAM, PMF, hybrid
+		channels [5]bool // BySAM, ByPMF, ByZ, ByNeighbor, ByDelay
+		pmax     float64
+		routes   int
+	}
+	outs := runner.MapGridWorkerProgress(cfg.Workers, len(cells), cfg.Runs, cfg.Progress, newSimCache, func(c, run int, cache *simCache) out {
+		cell := cells[c]
+		profile := profiles[cell.proto]
+		routes, times, nbr := rocMatrixRun(cfg, "rocmatrix/"+cell.name, cell.proto, cell.variant, run, cache)
+		st := sam.Analyze(routes)
+		samV := sam.NewDetector(profile, sam.DetectorConfig{}).Evaluate(st)
+		hybV := sam.NewHybridDetector(profile, nbr, sam.HybridConfig{}).Evaluate(st, routes, times)
+		return out{
+			flags:    [3]bool{samV.Decision != sam.Normal, hybV.PMF.Attacked, hybV.Attacked},
+			channels: [5]bool{hybV.BySAM, hybV.ByPMF, hybV.ByZ, hybV.ByNeighbor, hybV.ByDelay},
+			pmax:     st.PMax,
+			routes:   len(routes),
+		}
+	})
+
+	rows := make([]rocMatrixRow, len(cells))
+	n := float64(cfg.Runs)
+	for c, cell := range cells {
+		r := rocMatrixRow{Scenario: cell.name}
+		for _, o := range outs[c] {
+			if o.flags[0] {
+				r.SAM++
+			}
+			if o.flags[1] {
+				r.PMF++
+			}
+			if o.flags[2] {
+				r.Hybrid++
+			}
+			for i, fired := range o.channels {
+				if fired {
+					r.Channels[i]++
+				}
+			}
+			r.MeanPMax += o.pmax
+			r.MeanRoutes += float64(o.routes)
+		}
+		r.SAM /= n
+		r.PMF /= n
+		r.Hybrid /= n
+		for i := range r.Channels {
+			r.Channels[i] /= n
+		}
+		r.MeanPMax /= n
+		r.MeanRoutes /= n
+		rows[c] = r
+	}
+	return rows
+}

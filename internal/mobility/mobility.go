@@ -19,6 +19,10 @@ import (
 	"samnet/internal/topology"
 )
 
+// ExplicitZero requests a true zero for Config fields whose zero value means
+// "use the default" — the repo-wide convention for zero-vs-unset config.
+const ExplicitZero = -1
+
 // Config parameterizes the random-waypoint model.
 type Config struct {
 	// Arena is the rectangle nodes roam in. Required.
@@ -27,7 +31,8 @@ type Config struct {
 	// unit time (defaults 0.5 and 1.5). MinSpeed must be positive: the
 	// classic model's zero-minimum speed decays to a frozen network.
 	MinSpeed, MaxSpeed float64
-	// Pause is the dwell time at each waypoint (default 1).
+	// Pause is the dwell time at each waypoint (default 1). ExplicitZero
+	// selects the zero-pause model, where nodes never dwell between legs.
 	Pause float64
 }
 
@@ -38,8 +43,11 @@ func (c *Config) defaults() {
 	if c.MaxSpeed == 0 {
 		c.MaxSpeed = 1.5
 	}
-	if c.Pause == 0 {
+	switch {
+	case c.Pause == 0:
 		c.Pause = 1
+	case c.Pause < 0:
+		c.Pause = 0
 	}
 }
 

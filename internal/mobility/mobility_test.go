@@ -140,3 +140,36 @@ func TestAdjacencyTracksMovement(t *testing.T) {
 		t.Error("adjacency never changed despite roaming a 50x50 arena")
 	}
 }
+
+// TestExplicitZeroPauseNeverDwells pins the ExplicitZero convention on
+// Config.Pause: previously a requested zero pause was silently coerced to
+// the default dwell of 1, making the classic zero-pause waypoint model
+// unreachable. With Pause: ExplicitZero every node must be in motion at
+// every sampling instant.
+func TestExplicitZeroPauseNeverDwells(t *testing.T) {
+	topo := testTopo(6)
+	m := New(topo, Config{Arena: arena(), Pause: ExplicitZero}, rand.New(rand.NewPCG(3, 3)))
+	if m.cfg.Pause != 0 {
+		t.Fatalf("ExplicitZero resolved to %v, want 0", m.cfg.Pause)
+	}
+	prev := topo.Positions()
+	for step := 0; step < 500; step++ {
+		m.Advance(0.05)
+		cur := topo.Positions()
+		for i := range cur {
+			if cur[i] == prev[i] {
+				t.Fatalf("node %d dwelled at %v during step %d despite zero pause", i, cur[i], step)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestPauseZeroStillDefaults pins the compatibility half of the convention:
+// a plain zero keeps selecting the default dwell.
+func TestPauseZeroStillDefaults(t *testing.T) {
+	m := New(testTopo(2), Config{Arena: arena()}, rand.New(rand.NewPCG(4, 4)))
+	if m.cfg.Pause != 1 {
+		t.Errorf("unset Pause resolved to %v, want default 1", m.cfg.Pause)
+	}
+}

@@ -26,6 +26,9 @@ type Protocol struct {
 	// Avoid excludes nodes from discovery (routing.FloodConfig.Avoid) —
 	// the IDS's isolation list plugs in here.
 	Avoid func(topology.NodeID) bool
+	// Forge lets Byzantine nodes answer requests with fabricated replies
+	// (routing.FloodConfig.Forge) — attack scenarios plug in here.
+	Forge routing.ForgeFunc
 }
 
 // Name implements routing.Protocol.
@@ -50,6 +53,7 @@ func (p *Protocol) Discover(net *sim.Network, src, dst topology.NodeID) *routing
 		HopSlack:        slack,
 		SuppressReplies: p.SuppressReplies,
 		Avoid:           p.Avoid,
+		Forge:           p.Forge,
 	})
 }
 

@@ -72,6 +72,17 @@ func (st *NodeState) reset(gen uint64) {
 // FirstFrom after the call). Rules must not mutate q.
 type ForwardRule func(self, from topology.NodeID, q *RREQ, st *NodeState) bool
 
+// ForgeFunc is the Byzantine route-reply hook: when installed, it is
+// consulted once per node on the first RREQ copy that node receives. prefix
+// is the real path the request traversed, source first, self last. Returning
+// a non-nil route makes the framework send an RREP for it immediately —
+// mid-flood, before the destination has answered anything. The returned
+// route must start with prefix (the reply walks those links backwards, and
+// they must exist); everything after self may be fabricated. Returning nil
+// forges nothing at this node. Honest nodes are modeled by a hook that
+// ignores them.
+type ForgeFunc func(self, from topology.NodeID, q *RREQ, prefix Route) Route
+
 // FloodConfig parameterizes the shared flooding framework that DSR and MR
 // are built from.
 type FloodConfig struct {
@@ -111,6 +122,10 @@ type FloodConfig struct {
 	// IDS's step-3 isolation feeds condemned attackers in through this hook
 	// (verify.IsolationSet.Avoid). Nil means no exclusion.
 	Avoid func(topology.NodeID) bool
+	// Forge, when non-nil, lets Byzantine nodes answer route requests with
+	// fabricated replies (see ForgeFunc). Nil — the default and the only
+	// value honest workloads use — costs nothing.
+	Forge ForgeFunc
 }
 
 // pathArena stores every RREQ path of one discovery as a parent-linked
@@ -220,13 +235,15 @@ type floodRun struct {
 	src   topology.NodeID
 	dst   topology.NodeID
 
-	gen      uint64
-	state    []NodeState // dense, indexed by NodeID, generation-tagged
-	arena    pathArena
-	rreqs    rreqArena
-	arrivals []arrival
-	kept     []int32 // collectRoutes scratch: surviving arrival refs
-	replies  []Route // RREPs that made it back to the source
+	gen        uint64
+	state      []NodeState // dense, indexed by NodeID, generation-tagged
+	arena      pathArena
+	rreqs      rreqArena
+	arrivals   []arrival
+	kept       []int32    // collectRoutes scratch: surviving arrival refs
+	keptAt     []sim.Time // arrival times parallel to kept
+	replies    []Route    // RREPs that made it back to the source
+	replyTimes []sim.Time // source-side arrival time of each reply
 }
 
 var floodPool = sync.Pool{New: func() any { return new(floodRun) }}
@@ -243,7 +260,9 @@ func (f *floodRun) begin(net *sim.Network, src, dst topology.NodeID, cfg FloodCo
 	f.rreqs.reset()
 	f.arrivals = f.arrivals[:0]
 	f.kept = f.kept[:0]
+	f.keptAt = f.keptAt[:0]
 	f.replies = f.replies[:0]
+	f.replyTimes = f.replyTimes[:0]
 }
 
 // RunDiscovery floods one route request from src to dst over net using the
@@ -267,9 +286,10 @@ func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *
 	net.Broadcast(src, q)
 	net.Run()
 
-	d := &Discovery{Protocol: cfg.Name, Src: src, Dst: dst}
-	routes := run.collectRoutes()
+	d := &Discovery{Protocol: cfg.Name, Src: src, Dst: dst, FloodEnd: net.Now()}
+	routes, times := run.collectRoutes()
 	d.Routes = routes
+	d.Times = times
 	if len(run.arrivals) > 0 {
 		d.FirstArrival = run.arrivals[0].at
 		d.LastArrival = run.arrivals[len(run.arrivals)-1].at
@@ -286,7 +306,12 @@ func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *
 			sendRREP(net, run.reqID, r)
 		}
 		net.Run()
+	}
+	if len(run.replies) > 0 {
+		// Forged replies arrive mid-flood, so this set can be non-empty even
+		// when the destination never answered (or was never reached).
 		d.Replies = append([]Route(nil), run.replies...)
+		d.ReplyTimes = append([]sim.Time(nil), run.replyTimes...)
 	}
 
 	d.TxTotal, d.RxTotal = net.TotalTraffic()
@@ -300,10 +325,10 @@ func RunDiscovery(net *sim.Network, src, dst topology.NodeID, cfg FloodConfig) *
 
 // collectRoutes dedups arrivals and applies the wait window and hop slack,
 // preserving arrival order, then materializes the survivors out of the
-// arena into one backing slice.
-func (f *floodRun) collectRoutes() []Route {
+// arena into one backing slice, with each survivor's arrival time alongside.
+func (f *floodRun) collectRoutes() ([]Route, []sim.Time) {
 	if len(f.arrivals) == 0 {
-		return nil
+		return nil, nil
 	}
 	cutoff := sim.Forever
 	if f.cfg.WaitWindow > 0 {
@@ -314,6 +339,7 @@ func (f *floodRun) collectRoutes() []Route {
 		maxHops = f.arena.hops[f.arrivals[0].ref] + int32(f.cfg.HopSlack)
 	}
 	f.kept = f.kept[:0]
+	f.keptAt = f.keptAt[:0]
 	total := 0
 	for _, a := range f.arrivals {
 		if a.at > cutoff || f.arena.hops[a.ref] > maxHops {
@@ -330,10 +356,11 @@ func (f *floodRun) collectRoutes() []Route {
 			continue
 		}
 		f.kept = append(f.kept, a.ref)
+		f.keptAt = append(f.keptAt, a.at)
 		total += int(f.arena.hops[a.ref]) + 1
 	}
 	if len(f.kept) == 0 {
-		return nil
+		return nil, nil
 	}
 	backing := make(Route, 0, total)
 	routes := make([]Route, len(f.kept))
@@ -344,7 +371,7 @@ func (f *floodRun) collectRoutes() []Route {
 		// append by a caller reallocates instead of clobbering a sibling.
 		routes[i] = backing[start:len(backing):len(backing)]
 	}
-	return routes
+	return routes, append([]sim.Time(nil), f.keptAt...)
 }
 
 func sendRREP(net *sim.Network, reqID uint64, route Route) {
@@ -403,6 +430,18 @@ func (f *floodRun) recvRREQ(net *sim.Network, self, from topology.NodeID, q *RRE
 	if st.gen != f.gen {
 		st.reset(f.gen)
 	}
+	if f.cfg.Forge != nil && !st.Seen {
+		// Byzantine route-reply forgery: a malicious node answers the first
+		// copy it sees with a fabricated route, racing the destination's
+		// honest replies. The real prefix is materialized for the hook (and
+		// walked backwards by the RREP), so only the suffix can lie.
+		prefix := f.arena.appendPath(nil, f.arena.push(f.refFor(q), self))
+		if forged := f.cfg.Forge(self, from, q, prefix); forged != nil {
+			if len(prefix) >= 2 {
+				net.Unicast(self, prefix[len(prefix)-2], &RREP{ReqID: f.reqID, Route: forged, Pos: len(prefix) - 2})
+			}
+		}
+	}
 	forward := f.cfg.Rule(self, from, q, st)
 	if forward && f.cfg.MaxForwards > 0 && st.Forwarded >= f.cfg.MaxForwards {
 		forward = false
@@ -427,6 +466,7 @@ func (f *floodRun) recvRREP(net *sim.Network, self topology.NodeID, p *RREP) {
 	if p.Pos == 0 {
 		// Reached the source: the route is usable.
 		f.replies = append(f.replies, p.Route)
+		f.replyTimes = append(f.replyTimes, net.Now())
 		return
 	}
 	// Relay in place: the RREP has exactly one holder at a time, so

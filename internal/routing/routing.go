@@ -208,13 +208,31 @@ type Discovery struct {
 	// arrival order. SAM's statistics are computed over this set.
 	Routes []Route
 
+	// Times holds the virtual arrival time of each collected route's RREQ
+	// copy at the destination, parallel to Routes. Dividing by the route's
+	// hop count gives the per-hop latency a delay-consistency detector
+	// compares against the nominal hop delay.
+	Times []sim.Time
+
 	// Replies are the routes actually returned to the source (a subset of
-	// Routes chosen by the protocol's reply policy).
+	// Routes chosen by the protocol's reply policy — or, under a route-reply
+	// forgery attack, fabricated routes that never reached the destination).
 	Replies []Route
+
+	// ReplyTimes holds the virtual time each reply reached the source,
+	// parallel to Replies. Honest replies travel back only after the flood
+	// completes (FloodEnd); forged replies are injected mid-flood and arrive
+	// implausibly early.
+	ReplyTimes []sim.Time
 
 	// FirstArrival and LastArrival are the virtual times of the first and
 	// last RREQ copies reaching the destination (0,0 if none did).
 	FirstArrival, LastArrival sim.Time
+
+	// FloodEnd is the virtual time the request flood died out — the moment
+	// the destination starts answering. Reply travel time is measured from
+	// it.
+	FloodEnd sim.Time
 
 	// TxTotal and RxTotal are the total transmissions/receptions at all
 	// nodes during discovery, including replies — Table II's overhead.

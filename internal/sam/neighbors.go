@@ -1,0 +1,105 @@
+package sam
+
+import (
+	"samnet/internal/topology"
+)
+
+// NeighborTables collects per-node neighbor claims — the "who do you hear"
+// reports a neighbor-table-comparison check audits. Honest nodes report
+// their radio neighborhood; colluding wormhole nodes also claim the tunnel
+// (both endpoints corroborate it, so a mutual-claim check alone cannot see
+// it). Two audits run over the claims:
+//
+//   - Corroborated: a link is believable only if both endpoints claim each
+//     other. Fabricated links in forged route replies fail this — the
+//     invented neighbor never claimed the forger.
+//   - DetourHops: for a corroborated link, the hop distance between its
+//     endpoints through the rest of the claimed graph. Radio links always
+//     have short detours (their endpoints share a physical neighborhood); a
+//     tunnel's endpoints are many honest hops apart, however loudly the
+//     colluders corroborate the link itself.
+type NeighborTables struct {
+	claims map[topology.NodeID]map[topology.NodeID]bool
+}
+
+// NewNeighborTables returns an empty claim set.
+func NewNeighborTables() *NeighborTables {
+	return &NeighborTables{claims: make(map[topology.NodeID]map[topology.NodeID]bool)}
+}
+
+// RadioNeighborTables builds the honest baseline: every node claims exactly
+// its radio (in-range) neighborhood, tunnels excluded.
+func RadioNeighborTables(topo *topology.Topology) *NeighborTables {
+	t := NewNeighborTables()
+	n := topo.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if topo.InRange(topology.NodeID(a), topology.NodeID(b)) {
+				t.ClaimLink(topology.NodeID(a), topology.NodeID(b))
+			}
+		}
+	}
+	return t
+}
+
+// Claim records that reporter lists neighbor in its neighbor table.
+func (t *NeighborTables) Claim(reporter, neighbor topology.NodeID) {
+	if reporter == neighbor {
+		panic("sam: self neighbor claim")
+	}
+	m := t.claims[reporter]
+	if m == nil {
+		m = make(map[topology.NodeID]bool, 8)
+		t.claims[reporter] = m
+	}
+	m[neighbor] = true
+}
+
+// ClaimLink records mutual claims for both endpoints — how colluding
+// attackers corroborate their own tunnel, and how honest radio links enter
+// the tables.
+func (t *NeighborTables) ClaimLink(a, b topology.NodeID) {
+	t.Claim(a, b)
+	t.Claim(b, a)
+}
+
+// Corroborated reports whether a and b both claim each other.
+func (t *NeighborTables) Corroborated(a, b topology.NodeID) bool {
+	return t.claims[a][b] && t.claims[b][a]
+}
+
+// DetourHops returns the hop distance between l's endpoints through the
+// corroborated claim graph with l itself removed — the length of the honest
+// detour around the link. It returns -1 when no detour exists. Radio links
+// detour in 2–3 hops on the paper's topologies; a corroborated tunnel can
+// only detour over the many-hop honest path it shortcuts.
+func (t *NeighborTables) DetourHops(l topology.Link) int {
+	if l.A == l.B {
+		return 0
+	}
+	// Plain BFS over the corroborated graph; claim sets are small (tens of
+	// nodes), so no adjacency materialization is needed.
+	dist := map[topology.NodeID]int{l.A: 0}
+	queue := []topology.NodeID{l.A}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range t.claims[x] {
+			if !t.claims[y][x] {
+				continue // uncorroborated: not a usable edge
+			}
+			if (x == l.A && y == l.B) || (x == l.B && y == l.A) {
+				continue // the link under audit is excluded
+			}
+			if _, seen := dist[y]; seen {
+				continue
+			}
+			dist[y] = dist[x] + 1
+			if y == l.B {
+				return dist[y]
+			}
+			queue = append(queue, y)
+		}
+	}
+	return -1
+}

@@ -30,17 +30,19 @@ type PMFDetector struct {
 }
 
 // NewPMFDetector builds the alternative detector over a trained profile.
+// tvThreshold and tailProb follow the package's ExplicitZero convention:
+// zero selects the default, ExplicitZero selects a true zero (a zero
+// TVThreshold condemns every sample by TV distance; a zero TailProb disables
+// the tail test).
 func NewPMFDetector(profile *Profile, tvThreshold, tailProb float64) *PMFDetector {
 	if profile == nil {
 		panic("sam: nil profile")
 	}
-	if tvThreshold == 0 {
-		tvThreshold = 0.5
+	return &PMFDetector{
+		profile:     profile,
+		TVThreshold: resolve(tvThreshold, 0.5),
+		TailProb:    resolve(tailProb, 0.02),
 	}
-	if tailProb == 0 {
-		tailProb = 0.02
-	}
-	return &PMFDetector{profile: profile, TVThreshold: tvThreshold, TailProb: tailProb}
 }
 
 // PMFVerdict reports the alternative detector's evaluation.

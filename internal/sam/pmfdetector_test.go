@@ -86,3 +86,35 @@ func TestPMFDetectorThresholdsRespected(t *testing.T) {
 		t.Errorf("strict TV threshold did not trip: %+v", v)
 	}
 }
+
+// TestPMFDetectorExplicitZero pins the ExplicitZero convention on the
+// constructor: a plain zero selects the default, ExplicitZero a true zero —
+// previously an explicit zero was silently coerced to the default, making
+// "condemn on any TV distance" and "disable the tail test" unreachable.
+func TestPMFDetectorExplicitZero(t *testing.T) {
+	tr := NewTrainer("pmf-explicit-zero", 0)
+	for v := 0; v < 12; v++ {
+		tr.ObserveRoutes(normalRoutes(v))
+	}
+	prof, err := tr.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def := NewPMFDetector(prof, 0, 0)
+	if def.TVThreshold != 0.5 || def.TailProb != 0.02 {
+		t.Errorf("zero must select defaults, got tv=%v tail=%v", def.TVThreshold, def.TailProb)
+	}
+
+	zero := NewPMFDetector(prof, ExplicitZero, ExplicitZero)
+	if zero.TVThreshold != 0 || zero.TailProb != 0 {
+		t.Fatalf("ExplicitZero must resolve to 0, got tv=%v tail=%v", zero.TVThreshold, zero.TailProb)
+	}
+	v := zero.Evaluate(Analyze(attackRoutes()))
+	if v.ByTail {
+		t.Error("TailProb 0 must disable the tail test (no mass is below 0)")
+	}
+	if !v.ByTV {
+		t.Error("TVThreshold 0 must condemn any nonzero TV distance")
+	}
+}

@@ -192,8 +192,14 @@ type VerifyRequest struct {
 	// Suspect is the accused pair; nil localizes via SAM over the routes.
 	Suspect *LinkJSON `json:"suspect,omitempty"`
 	// Wormholes is how many tunnels to install (nil → 1; 0 probes a clean
-	// network).
+	// network). It only parameterizes the classic attack variant.
 	Wormholes *int `json:"wormholes,omitempty"`
+	// Attack selects the adversary variant to arm, from the attack package's
+	// named vocabulary: "classic" (default), "latent", "chain", "adaptive"
+	// or "forge" — the same scenario set the rocmatrix experiment sweeps.
+	// "forge" requires the mr or dsr protocol (the forge hook plugs into
+	// their discovery floods).
+	Attack string `json:"attack,omitempty"`
 	// Behavior is the attackers' payload behaviour: "blackhole" (default),
 	// "greyhole", "forward", or "forge" (forward but answer probes with
 	// fabricated proofs).

@@ -123,6 +123,8 @@ func FuzzVerifyRequestJSON(f *testing.F) {
 	f.Add(`{"scenario":{"topo":"cluster","tier":2,"protocol":"dsr"},"behavior":"forge","isolate":true}`)
 	f.Add(`{"scenario":{"topo":"uniform6x6"},"routes":[[0,1,2]],"suspect":{"a":1,"b":2}}`)
 	f.Add(`{"scenario":{"topo":"cluster"},"wormholes":0,"behavior":"forward"}`)
+	f.Add(`{"scenario":{"topo":"cluster","protocol":"dsr"},"attack":"forge"}`)
+	f.Add(`{"scenario":{"topo":"cluster"},"attack":"adaptive"}`)
 	f.Add(`{"scenario":{"topo":"cluster"},"timeout":-1,"retries":-1,"max_probes":-1}`)
 	f.Add(`{"scenario":{"topo":"nonesuch"}}`)
 	f.Add(`{"scenario":{"topo":"cluster"},"suspect":{"a":-5,"b":3}}`)

@@ -9,6 +9,8 @@ import (
 	"samnet/internal/cli"
 	"samnet/internal/obs"
 	"samnet/internal/routing"
+	"samnet/internal/routing/dsr"
+	"samnet/internal/routing/mr"
 	"samnet/internal/runner"
 	"samnet/internal/sam"
 	"samnet/internal/sim"
@@ -110,7 +112,33 @@ func (s *Service) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "wormholes %d out of range [0,%d]", wormholes, len(net.AttackerPairs))
 		return
 	}
-	atk := attack.NewScenario(net, wormholes, behavior)
+	var atk *attack.Scenario
+	switch req.Attack {
+	case "", "classic":
+		atk = attack.NewScenario(net, wormholes, behavior)
+	default:
+		if req.Wormholes != nil {
+			s.writeError(w, http.StatusBadRequest, "wormholes only parameterizes the classic attack variant")
+			return
+		}
+		atk, err = attack.Named(req.Attack, net, behavior)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if req.Attack == "forge" {
+		f := atk.ForgeFunc()
+		switch p := sc.proto.(type) {
+		case *mr.Protocol:
+			p.Forge = f
+		case *dsr.Protocol:
+			p.Forge = f
+		default:
+			s.writeError(w, http.StatusBadRequest, `attack "forge" requires the mr or dsr protocol`)
+			return
+		}
+	}
 	simNet := sim.NewNetwork(net.Topo, sim.Config{Seed: runner.DeriveSeed(seed, sc.label+"/sim", 0)})
 	atk.Arm(simNet)
 

@@ -236,3 +236,34 @@ func TestVerifyMetricsAndDecisions(t *testing.T) {
 		t.Fatal("no verify decision record captured")
 	}
 }
+
+// TestVerifyAttackVariants exercises the named adversary vocabulary on
+// /v1/verify — the same scenario set the rocmatrix experiment sweeps — and
+// the request validation around it.
+func TestVerifyAttackVariants(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	h := svc.Handler()
+
+	for _, name := range []string{"classic", "latent", "chain", "adaptive"} {
+		code, resp := verifyPost(t, h, `{"scenario":{"topo":"cluster"},"attack":"`+name+`"}`)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", name, code)
+		}
+		if resp.Label == "" {
+			t.Errorf("%s: empty label", name)
+		}
+	}
+	if code, _ := verifyPost(t, h, `{"scenario":{"topo":"cluster","protocol":"dsr"},"attack":"forge"}`); code != http.StatusOK {
+		t.Errorf("forge on dsr: status %d, want 200", code)
+	}
+	if code, _ := verifyPost(t, h, `{"scenario":{"topo":"cluster","protocol":"aomdv"},"attack":"forge"}`); code != http.StatusBadRequest {
+		t.Errorf("forge on aomdv: status %d, want 400 (no forge hook)", code)
+	}
+	if code, _ := verifyPost(t, h, `{"scenario":{"topo":"cluster"},"attack":"nope"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown attack variant: status %d, want 400", code)
+	}
+	if code, _ := verifyPost(t, h, `{"scenario":{"topo":"cluster"},"attack":"latent","wormholes":2}`); code != http.StatusBadRequest {
+		t.Errorf("wormholes on non-classic variant: status %d, want 400", code)
+	}
+}

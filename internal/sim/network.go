@@ -95,6 +95,12 @@ type Network struct {
 	// cycles that re-arm attackers do not reallocate it.
 	factorSpare []float64
 
+	// linkDelay adds extra propagation delay to specific links — the
+	// variable-latency out-of-band tunnels of complex wormhole attacks, where
+	// the covert channel is slower than one radio hop. Nil means no link has
+	// extra delay, keeping the hot delivery path a single nil check.
+	linkDelay map[topology.Link]Time
+
 	lost    int64 // receptions destroyed by channel loss
 	dropped int64 // receptions destroyed by the drop hook (attacks)
 	ids     uint64
@@ -161,6 +167,7 @@ func (n *Network) resetState() {
 		n.factorSpare = n.delayFactor
 	}
 	n.delayFactor = nil
+	n.linkDelay = nil
 	n.drop = nil
 	n.lost = 0
 	n.dropped = 0
@@ -214,6 +221,24 @@ func (n *Network) SetDelayFactor(id topology.NodeID, f float64) {
 		}
 	}
 	n.delayFactor[id] = f
+}
+
+// SetLinkDelay adds extra propagation delay to every delivery crossing the
+// a-b link, in either direction, on top of the transmitter's normal delay.
+// Wormhole scenarios model variable-latency tunnels with it: the out-of-band
+// channel still collapses many radio hops into one link, but each crossing
+// costs extra time — the delay evidence a timing-aware detector keys on.
+// A non-positive extra clears the link's entry.
+func (n *Network) SetLinkDelay(a, b topology.NodeID, extra Time) {
+	l := topology.MkLink(a, b)
+	if extra <= 0 {
+		delete(n.linkDelay, l)
+		return
+	}
+	if n.linkDelay == nil {
+		n.linkDelay = make(map[topology.Link]Time, 4)
+	}
+	n.linkDelay[l] = extra
 }
 
 // Lost returns how many receptions channel noise destroyed.
@@ -285,6 +310,9 @@ func (n *Network) deliver(from, to topology.NodeID, pkt Packet, delay Time) {
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.lost++
 		return
+	}
+	if n.linkDelay != nil {
+		delay += n.linkDelay[topology.MkLink(from, to)]
 	}
 	n.scheduleDelivery(delay, from, to, pkt)
 }

@@ -299,3 +299,44 @@ func BenchmarkBroadcastDelivery(b *testing.B) {
 		net.Run()
 	}
 }
+
+func TestSetLinkDelaySlowsOnlyThatLink(t *testing.T) {
+	topo := lineTopo(5)
+	topo.AddExtraLink(0, 4)
+	// Deterministic timing: no jitter.
+	net := NewNetwork(topo, Config{Seed: 1, Jitter: ExplicitZero})
+	net.SetLinkDelay(0, 4, 6)
+
+	var tunnelAt, radioAt Time
+	net.SetHandler(4, HandlerFunc(func(n *Network, self, from topology.NodeID, pkt Packet) {
+		tunnelAt = n.Now()
+	}))
+	net.SetHandler(1, HandlerFunc(func(n *Network, self, from topology.NodeID, pkt Packet) {
+		radioAt = n.Now()
+	}))
+	net.Schedule(0, func() {
+		net.Unicast(0, 4, "tunneled")
+		net.Unicast(0, 1, "radio")
+	})
+	net.Run()
+	if radioAt != 1 {
+		t.Errorf("radio hop arrived at %v, want 1", radioAt)
+	}
+	if tunnelAt != 7 {
+		t.Errorf("tunnel crossing arrived at %v, want hop delay 1 + link delay 6", tunnelAt)
+	}
+
+	// A non-positive delay clears the entry; Reset clears all of them.
+	net.SetLinkDelay(0, 4, 0)
+	net.SetLinkDelay(0, 1, 3)
+	net.Reset(2)
+	radioAt = 0
+	net.SetHandler(1, HandlerFunc(func(n *Network, self, from topology.NodeID, pkt Packet) {
+		radioAt = n.Now()
+	}))
+	net.Schedule(0, func() { net.Unicast(0, 1, "after reset") })
+	net.Run()
+	if radioAt != 1 {
+		t.Errorf("link delays survived Reset: arrival at %v, want 1", radioAt)
+	}
+}
